@@ -1,0 +1,30 @@
+"""Section 5.3 closing sweep — SpecSched_{2,6}_Crit vs SpecSched_{2,6}.
+
+Paper numbers: ~90% replay reduction at both delays; issued-µop reductions
+of 11.2% (D=2) and 18.7% (D=6); speedups of 2.3% and 4.8%.
+"""
+
+from repro.experiments.figures import delay_sweep
+from repro.experiments.report import performance_table, summary_line
+
+from benchmarks.conftest import emit
+
+
+def test_delay_sweep(benchmark, settings):
+    result = benchmark.pedantic(delay_sweep, args=(settings,),
+                                iterations=1, rounds=1)
+    emit("Section 5.3 — criticality across issue-to-execute delays",
+         performance_table(result),
+         summary_line(result, "SpecSched_2_Crit", "SpecSched_2"),
+         summary_line(result, "SpecSched_6_Crit", "SpecSched_6"))
+
+    for delay in (2, 6):
+        red = result.replay_reduction(f"SpecSched_{delay}_Crit",
+                                      f"SpecSched_{delay}", "total")
+        assert red > 0.6, f"delay {delay}: replay reduction too small"
+        assert result.speedup_over(f"SpecSched_{delay}_Crit",
+                                   f"SpecSched_{delay}") > 0.97
+    # Issued-µop reduction grows with the delay (deeper squash windows).
+    r2 = result.issued_reduction("SpecSched_2_Crit", "SpecSched_2")
+    r6 = result.issued_reduction("SpecSched_6_Crit", "SpecSched_6")
+    assert r6 >= r2 - 0.02

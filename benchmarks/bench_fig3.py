@@ -1,0 +1,28 @@
+"""Figure 3 — slowdown of conservative scheduling vs issue-to-execute
+delay (plus the single-load-port configuration).
+
+Paper shape: performance drops monotonically as the delay grows; the
+pointer-chasing INT workloads suffer most, memory-latency-bound workloads
+(mcf, libquantum) barely move.
+"""
+
+from repro.experiments.figures import fig3
+from repro.experiments.report import performance_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig3(benchmark, settings):
+    result = benchmark.pedantic(fig3, args=(settings,),
+                                iterations=1, rounds=1)
+    emit("Figure 3 — conservative scheduling vs delay",
+         performance_table(result))
+    # Shape assertions: monotone gmean decline with delay.
+    g2 = result.gmean_ipc_ratio("Baseline_2")
+    g4 = result.gmean_ipc_ratio("Baseline_4")
+    g6 = result.gmean_ipc_ratio("Baseline_6")
+    assert g2 <= 1.02
+    assert g4 <= g2 + 0.01
+    assert g6 <= g4 + 0.01
+    # One load port per cycle costs performance.
+    assert result.gmean_ipc_ratio("Baseline_0, 1 load/cycle") <= 1.0

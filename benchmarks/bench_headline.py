@@ -1,0 +1,25 @@
+"""Headline numbers (abstract + Section 6).
+
+Paper: 78.0% of bank-conflict replays and 96.5% of miss replays avoided,
+3.4% performance gain and 13.4% fewer issued µops for SpecSched_4_Crit
+over SpecSched_4; 68.2% total replay reduction at +3.7% for Combined.
+"""
+
+from repro.experiments.figures import headline
+
+from benchmarks.conftest import emit
+
+
+def test_headline(benchmark, settings):
+    numbers = benchmark.pedantic(headline, args=(settings,),
+                                 iterations=1, rounds=1)
+    rows = "\n".join(f"{name:42s} {value:+8.1%}"
+                     for name, value in numbers.rows().items())
+    emit("Headline — paper abstract numbers (measured)", rows)
+
+    assert numbers.bank_replay_reduction > 0.5      # paper 78.0%
+    assert numbers.miss_replay_reduction > 0.5      # paper 96.5%
+    assert numbers.total_replay_reduction > 0.6     # paper 90.6%
+    assert numbers.issued_uop_reduction > 0.05      # paper 13.4%
+    assert numbers.speedup_over_specsched > -0.02   # paper +3.4%
+    assert numbers.combined_replay_reduction > 0.4  # paper 68.2%

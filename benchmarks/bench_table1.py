@@ -1,0 +1,16 @@
+"""Table 1 — simulator configuration (rendered + asserted)."""
+
+from repro.core.presets import make_config
+from repro.experiments.tables import render_table1
+
+from benchmarks.conftest import emit
+
+
+def test_table1(benchmark):
+    text = benchmark(render_table1)
+    cfg = make_config("SpecSched_4")
+    assert cfg.core.rob_entries == 192
+    assert cfg.core.iq_entries == 60
+    assert cfg.memory.l1d.latency == 4
+    assert cfg.memory.dram.base_latency == 75
+    emit("Table 1 — simulator configuration", text)

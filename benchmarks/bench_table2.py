@@ -1,0 +1,12 @@
+"""Table 2 — the workload suite under Baseline_0 (IPC per program)."""
+
+from repro.experiments.tables import render_table2
+
+from benchmarks.conftest import emit
+
+
+def test_table2(benchmark, settings):
+    text = benchmark.pedantic(render_table2, args=(settings,),
+                              iterations=1, rounds=1)
+    emit("Table 2 — synthetic suite, Baseline_0 IPC", text)
+    assert "IPC" in text

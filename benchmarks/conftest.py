@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper: the
+pytest-benchmark timing wraps the (cached) experiment run, and the bench
+prints the paper-style rows so EXPERIMENTS.md can be refreshed from the
+output. Scale with::
+
+    REPRO_WORKLOADS=full REPRO_MEASURE=40000 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import Settings
+
+
+@pytest.fixture(scope="session")
+def settings() -> Settings:
+    return Settings.from_env()
+
+
+def emit(title: str, *blocks: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    for block in blocks:
+        print(block)
+        print()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Bank conflicts and Schedule Shifting (Sections 4.2 and 5.1).
+
+Runs the bank-conflict-sensitive workloads under three machines:
+
+* SpecSched_4 with an *ideal dual-ported* L1D (no conflicts possible);
+* SpecSched_4 with the realistic *banked* L1D (8 quadword-interleaved
+  banks — same-cycle load pairs to one bank serialize and replay);
+* SpecSched_4_Shift: always wake the second load's dependents one cycle
+  late, so the common pair conflict no longer mispredicts the schedule.
+
+Usage::
+
+    python examples/bank_conflicts.py
+"""
+
+from repro import run_workload
+
+BANKY = ["swim", "crafty", "gamess", "hmmer", "GemsFDTD", "leslie3d"]
+
+
+def main() -> None:
+    header = (f"{'workload':10s} {'dual IPC':>9s} {'banked IPC':>11s} "
+              f"{'shift IPC':>10s} {'bank replays':>13s} {'after shift':>12s}")
+    print(header)
+    print("-" * len(header))
+    for workload in BANKY:
+        dual = run_workload(workload, "SpecSched_4", banked=False)
+        banked = run_workload(workload, "SpecSched_4", banked=True)
+        shift = run_workload(workload, "SpecSched_4_Shift", banked=True)
+        print(f"{workload:10s} {dual.ipc:9.2f} {banked.ipc:11.2f} "
+              f"{shift.ipc:10.2f} {banked.stats.replayed_bank:13d} "
+              f"{shift.stats.replayed_bank:12d}")
+    print("\nSchedule Shifting recovers most of the banking loss by "
+          "promising the second load of each issue group one extra cycle "
+          "(Section 5.1). Residual replays are cross-issue-group "
+          "conflicts, which shifting cannot see.")
+
+
+if __name__ == "__main__":
+    main()

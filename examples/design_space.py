@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Design-space sweep: issue-to-execute delay 0..6 (Figures 3 and 4).
+
+For each delay D, compares conservative scheduling (Baseline_D) against
+speculative scheduling with the paper's full mechanism stack
+(SpecSched_D_Crit) on a mixed trio of workloads, all normalized to the
+ideal Baseline_0. This is the paper's core argument in one plot:
+conservative scheduling decays with pipeline depth; cost-effective
+speculation holds the line without replay storms.
+
+Usage::
+
+    python examples/design_space.py
+"""
+
+from repro import run_workload
+from repro.common.mathutil import geomean
+
+WORKLOADS = ["gzip", "xalancbmk", "swim"]
+DELAYS = [0, 2, 4, 6]
+
+
+def gmean_ipc(config: str, banked: bool) -> float:
+    return geomean(run_workload(w, config, banked=banked).ipc
+                   for w in WORKLOADS)
+
+
+def main() -> None:
+    reference = gmean_ipc("Baseline_0", banked=False)
+    print(f"workloads: {', '.join(WORKLOADS)} (gmean IPC, "
+          f"normalized to Baseline_0 = {reference:.2f})\n")
+    print(f"{'delay':>5s} {'Baseline_D':>11s} {'SpecSched_D_Crit':>17s}")
+    print("-" * 36)
+    for delay in DELAYS:
+        conservative = gmean_ipc(f"Baseline_{delay}", banked=False)
+        crit = gmean_ipc(f"SpecSched_{delay}_Crit" if delay else
+                         f"SpecSched_{delay}", banked=True)
+        print(f"{delay:5d} {conservative / reference:11.3f} "
+              f"{crit / reference:17.3f}")
+    print("\nAs the Issue->Execute distance grows, stalling load "
+          "dependents costs more and more (left column); speculative "
+          "scheduling with replay-avoidance holds performance even with "
+          "a banked L1 (right column).")
+
+
+if __name__ == "__main__":
+    main()

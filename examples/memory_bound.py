@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Hit/miss filtering on memory-bound workloads (Section 5.2).
+
+Under Always-Hit speculation, workloads that miss constantly (libquantum:
+~every load; mcf: pointer chasing to DRAM) replay enormous numbers of
+µops for no benefit. The 4-bit global counter plus the 768-byte per-PC
+filter identifies them and stalls their dependents instead, slashing the
+wasted issue bandwidth at roughly unchanged performance.
+
+Usage::
+
+    python examples/memory_bound.py
+"""
+
+from repro import run_workload
+
+MISSY = ["libquantum", "mcf", "milc", "soplex", "omnetpp", "xalancbmk"]
+
+
+def main() -> None:
+    header = (f"{'workload':11s} {'IPC':>6s} {'IPC+filt':>9s} "
+              f"{'missRpld':>9s} {'missRpld+filt':>14s} {'sureMiss%':>10s}")
+    print(header)
+    print("-" * len(header))
+    for workload in MISSY:
+        base = run_workload(workload, "SpecSched_4", banked=True)
+        filt = run_workload(workload, "SpecSched_4_Filter", banked=True)
+        s = filt.stats
+        decided = (s.filter_sure_hit + s.filter_sure_miss
+                   + s.filter_deferred) or 1
+        print(f"{workload:11s} {base.ipc:6.2f} {filt.ipc:9.2f} "
+              f"{base.stats.replayed_miss:9d} {s.replayed_miss:14d} "
+              f"{s.filter_sure_miss / decided:10.1%}")
+    print("\n'sureMiss%' is the fraction of load decisions the per-PC "
+          "filter settled as guaranteed misses; the rest fall back to the "
+          "global counter (Section 5.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Out-of-order backend: PRF scoreboard, IQ, ROB, LSQ, FUs, replay."""
+
+from repro.backend.prf import Scoreboard
+from repro.backend.rob import ReorderBuffer
+from repro.backend.iq import IssueQueue
+from repro.backend.fu import FuPool
+from repro.backend.storesets import StoreSets
+from repro.backend.lsq import LoadStoreQueue
+from repro.backend.recovery import RecoveryBuffer
+from repro.backend.replay import ReplayController, ReplayEvent
+
+__all__ = [
+    "FuPool",
+    "IssueQueue",
+    "LoadStoreQueue",
+    "RecoveryBuffer",
+    "ReorderBuffer",
+    "ReplayController",
+    "ReplayEvent",
+    "Scoreboard",
+    "StoreSets",
+]

@@ -1,0 +1,63 @@
+"""Functional-unit pool (Table 1, Execution row).
+
+4 ALU (1c), 1 MulDiv (3c mul / 25c div, divider not pipelined), 2 FP (3c),
+2 FPMulDiv (5c mul / 10c div, divider not pipelined), 2 load ports,
+1 store port. Issue allocates a unit slot for the cycle; unpipelined ops
+additionally block a unit for their full latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import CoreConfig
+from repro.isa.opclass import EXEC_LATENCY, FU_KIND, UNPIPELINED, FuKind, OpClass
+
+
+class FuPool:
+    """Per-cycle issue-port and unit-occupancy arbitration."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        self._counts = {
+            FuKind.ALU: config.num_alu,
+            FuKind.MULDIV: config.num_muldiv,
+            FuKind.FP: config.num_fp,
+            FuKind.FPMULDIV: config.num_fpmuldiv,
+            FuKind.LOAD_PORT: config.num_load_ports,
+            FuKind.STORE_PORT: config.num_store_ports,
+        }
+        self._used: Dict[FuKind, int] = {kind: 0 for kind in self._counts}
+        # Unpipelined units: per-unit busy-until cycle (issue-time view).
+        self._busy_until: Dict[FuKind, List[int]] = {
+            FuKind.MULDIV: [0] * config.num_muldiv,
+            FuKind.FPMULDIV: [0] * config.num_fpmuldiv,
+        }
+        self.grants = 0
+        self.rejections = 0
+
+    def new_cycle(self) -> None:
+        for kind in self._used:
+            self._used[kind] = 0
+
+    def try_allocate(self, opclass: OpClass, now: int) -> bool:
+        """Reserve a unit for a µop issuing at ``now``; False if none free."""
+        kind = FU_KIND[opclass]
+        if self._used[kind] >= self._counts[kind]:
+            self.rejections += 1
+            return False
+        if opclass in UNPIPELINED:
+            units = self._busy_until[kind]
+            for i, busy in enumerate(units):
+                if busy <= now:
+                    units[i] = now + EXEC_LATENCY[opclass]
+                    break
+            else:
+                self.rejections += 1
+                return False
+        self._used[kind] += 1
+        self.grants += 1
+        return True
+
+    def loads_issued_this_cycle(self) -> int:
+        return self._used[FuKind.LOAD_PORT]

@@ -1,0 +1,80 @@
+"""Unified issue queue — 60 entries (Table 1), oldest-first select.
+
+Entry lifetime follows Section 3.1: non-memory µops release their entry
+the moment they issue (speculatively or not); loads and stores keep theirs
+until they have *executed*, because a squashed memory µop is re-issued from
+the IQ rather than from the recovery buffer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.isa.uop import MicroOp
+
+
+class IssueQueue:
+    """Occupancy tracking + the ready list for first-time issue."""
+
+    def __init__(self, capacity: int = 60) -> None:
+        if capacity < 1:
+            raise ValueError("IQ capacity must be >= 1")
+        self.capacity = capacity
+        self._occupants: Set[MicroOp] = set()
+        self.ready: List[MicroOp] = []   # source-complete, awaiting select
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._occupants)
+
+    @property
+    def full(self) -> bool:
+        return len(self._occupants) >= self.capacity
+
+    def free_slots(self) -> int:
+        return self.capacity - len(self._occupants)
+
+    def insert(self, uop: MicroOp) -> None:
+        if self.full:
+            raise OverflowError("IQ overflow")
+        self._occupants.add(uop)
+        uop.in_iq = True
+        if len(self._occupants) > self.peak_occupancy:
+            self.peak_occupancy = len(self._occupants)
+
+    def make_ready(self, uop: MicroOp) -> None:
+        """Move a source-complete occupant onto the ready list."""
+        if uop not in self._occupants:
+            return
+        if uop not in self.ready:
+            self.ready.append(uop)
+
+    def take_ready(self) -> List[MicroOp]:
+        """Current ready µops, oldest (smallest seq) first, pruned of dead."""
+        if not self.ready:
+            return []
+        self.ready = [u for u in self.ready if not u.dead and u.in_iq]
+        self.ready.sort(key=lambda u: u.seq)
+        return self.ready
+
+    def remove_from_ready(self, uop: MicroOp) -> None:
+        if uop in self.ready:
+            self.ready.remove(uop)
+
+    def release(self, uop: MicroOp) -> None:
+        """Free the entry (at issue for non-memory, at execute for memory)."""
+        self._occupants.discard(uop)
+        uop.in_iq = False
+        if uop in self.ready:
+            self.ready.remove(uop)
+
+    def squash_younger(self, seq: int, inclusive: bool = False) -> List[MicroOp]:
+        """Drop occupants younger than ``seq``; returns them (any order)."""
+        doomed = [u for u in self._occupants
+                  if u.seq > seq or (inclusive and u.seq == seq)]
+        for uop in doomed:
+            self.release(uop)
+        return doomed
+
+    def occupants(self) -> List[MicroOp]:
+        return list(self._occupants)

@@ -1,0 +1,130 @@
+"""Load/store queues — 72-entry LQ, 48-entry SQ (Table 1).
+
+Responsibilities:
+
+* occupancy (dispatch stalls when a queue is full; entries release at
+  commit);
+* store-to-load forwarding at quadword granularity (a load whose address
+  matches an older *executed* store gets its data from the SQ and performs
+  no cache access — hence no bank conflict and no miss);
+* memory-order violation detection: a store that executes and finds a
+  *younger already-executed* load to the same quadword raises a violation
+  (squash-and-refetch from the load, store-sets training);
+* store-dependence wakeups for the store-sets predictor: µops predicted
+  dependent on a store wait until that store executes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.uop import MicroOp
+
+_QWORD_SHIFT = 3
+
+
+def _qword(addr: int) -> int:
+    return addr >> _QWORD_SHIFT
+
+
+class LoadStoreQueue:
+    """Combined LQ/SQ model."""
+
+    def __init__(self, lq_capacity: int = 72, sq_capacity: int = 48,
+                 on_ready: Optional[Callable[[MicroOp], None]] = None) -> None:
+        self.lq_capacity = lq_capacity
+        self.sq_capacity = sq_capacity
+        self.loads: List[MicroOp] = []
+        self.stores: List[MicroOp] = []
+        self._dep_waiters: Dict[int, List[MicroOp]] = {}  # store seq -> µops
+        self.on_ready = on_ready or (lambda uop: None)
+        self.forwards = 0
+        self.violations = 0
+
+    # -- occupancy ---------------------------------------------------------
+
+    def lq_full(self) -> bool:
+        return len(self.loads) >= self.lq_capacity
+
+    def sq_full(self) -> bool:
+        return len(self.stores) >= self.sq_capacity
+
+    def insert(self, uop: MicroOp) -> None:
+        if uop.is_load:
+            if self.lq_full():
+                raise OverflowError("LQ overflow")
+            self.loads.append(uop)
+        elif uop.is_store:
+            if self.sq_full():
+                raise OverflowError("SQ overflow")
+            self.stores.append(uop)
+        else:
+            raise ValueError("LSQ only holds memory µops")
+
+    def release(self, uop: MicroOp) -> None:
+        """Free the entry at commit (or on squash)."""
+        queue = self.loads if uop.is_load else self.stores
+        if uop in queue:
+            queue.remove(uop)
+
+    def squash_younger(self, seq: int, inclusive: bool = False) -> List[MicroOp]:
+        doomed = [u for u in self.loads + self.stores
+                  if u.seq > seq or (inclusive and u.seq == seq)]
+        for uop in doomed:
+            self.release(uop)
+            self._dep_waiters.pop(uop.seq, None)
+        return doomed
+
+    # -- store-dependence (store sets) ----------------------------------------
+
+    def add_store_dependence(self, uop: MicroOp, store: MicroOp) -> None:
+        """Make ``uop`` wait for ``store`` to execute (predictor decision)."""
+        uop.store_dep = store
+        uop.pending += 1
+        self._dep_waiters.setdefault(store.seq, []).append(uop)
+
+    def store_executed_wakeups(self, store: MicroOp) -> None:
+        waiters = self._dep_waiters.pop(store.seq, None)
+        if not waiters:
+            return
+        for uop in waiters:
+            if uop.dead or uop.pending <= 0:
+                continue
+            uop.store_dep = None
+            uop.pending -= 1
+            if uop.pending == 0:
+                self.on_ready(uop)
+
+    # -- forwarding & violations -----------------------------------------------
+
+    def forwarding_store(self, load: MicroOp) -> Optional[MicroOp]:
+        """Youngest older executed store matching the load's quadword."""
+        target = _qword(load.mem_addr)
+        best: Optional[MicroOp] = None
+        for store in self.stores:
+            if store.seq >= load.seq or not store.executed or store.dead:
+                continue
+            if _qword(store.mem_addr) == target:
+                if best is None or store.seq > best.seq:
+                    best = store
+        if best is not None:
+            self.forwards += 1
+        return best
+
+    def detect_violation(self, store: MicroOp) -> Optional[MicroOp]:
+        """Oldest younger executed load overlapping the store's quadword.
+
+        Such a load read stale data: it performed its access before the
+        store wrote. Returns the offending load (refetch point) or None.
+        """
+        target = _qword(store.mem_addr)
+        offender: Optional[MicroOp] = None
+        for load in self.loads:
+            if load.seq <= store.seq or not load.executed or load.dead:
+                continue
+            if _qword(load.mem_addr) == target:
+                if offender is None or load.seq < offender.seq:
+                    offender = load
+        if offender is not None:
+            self.violations += 1
+        return offender

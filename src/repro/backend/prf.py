@@ -1,0 +1,128 @@
+"""Physical register scoreboard: speculative wakeup infrastructure.
+
+This is where speculative scheduling lives mechanically. When a producer
+issues at cycle ``X`` promising latency ``L``, its destination register is
+scheduled to become *issue-ready* at ``X+L`` — consumers selected from that
+cycle on execute back-to-back (Figure 1). The promise may be wrong (loads):
+the replay controller then *un-readies* the register (version bump cancels
+the stale wakeup event) and re-schedules it at the corrected cycle.
+
+Alongside issue-readiness the scoreboard tracks ``data_ready_at`` — the
+earliest Execute-stage cycle at which the value is genuinely on the bypass
+network. The core asserts this at execution time: with a correct replay
+scheme the assertion never fires, making it a strong model invariant that
+the tests lean on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.uop import MicroOp
+
+#: "Not ready any time soon" sentinel.
+NEVER = 1 << 60
+
+
+class Scoreboard:
+    """Per-physical-register readiness + wakeup event queue."""
+
+    def __init__(self, num_pregs: int,
+                 on_ready: Optional[Callable[[MicroOp], None]] = None) -> None:
+        self.num_pregs = num_pregs
+        self.ready = [True] * num_pregs         # issue-visible readiness
+        self.ready_at = [0] * num_pregs         # cycle it became/becomes ready
+        self.data_ready_at = [0] * num_pregs    # earliest valid Execute cycle
+        self.version = [0] * num_pregs          # cancels stale wakeup events
+        self._waiters: Dict[int, List[MicroOp]] = {}
+        self._events: Dict[int, List[tuple]] = {}  # cycle -> [(preg, version)]
+        self.on_ready = on_ready or (lambda uop: None)
+        self.wakeups_fired = 0
+
+    # -- producer side ----------------------------------------------------
+
+    def broadcast(self, preg: int, wake_cycle: int, data_ready_exec: int) -> None:
+        """Producer issued: destination becomes ready at ``wake_cycle``.
+
+        ``data_ready_exec`` is the earliest Execute cycle with valid data.
+        """
+        self.ready[preg] = False
+        self.ready_at[preg] = wake_cycle
+        self.data_ready_at[preg] = data_ready_exec
+        self.version[preg] += 1
+        self._events.setdefault(wake_cycle, []).append(
+            (preg, self.version[preg]))
+
+    def unready(self, preg: int) -> None:
+        """Squash a producer: its destination is no longer coming."""
+        self.ready[preg] = False
+        self.ready_at[preg] = NEVER
+        self.data_ready_at[preg] = NEVER
+        self.version[preg] += 1     # cancels any in-flight wakeup event
+
+    def mark_ready_now(self, preg: int, now: int, data_ready_exec: int = 0) -> None:
+        """Immediately ready (initial architectural mappings, tests)."""
+        self.ready[preg] = True
+        self.ready_at[preg] = now
+        self.data_ready_at[preg] = data_ready_exec
+        self.version[preg] += 1
+
+    # -- consumer side ------------------------------------------------------
+
+    def watch(self, uop: MicroOp) -> int:
+        """Register ``uop`` to be woken by its not-yet-ready sources.
+
+        Sets and returns ``uop.pending`` (the count of outstanding register
+        sources — the caller adds store-dependence separately). The µop is
+        *not* reported through ``on_ready`` by this call even if pending is
+        zero; the caller routes it directly.
+        """
+        pending = 0
+        for preg in uop.psrcs:
+            if not self.ready[preg]:
+                pending += 1
+                self._waiters.setdefault(preg, []).append(uop)
+        uop.pending = pending
+        return pending
+
+    def operands_issue_ready(self, uop: MicroOp, now: int) -> bool:
+        """True when every register source is issue-ready at ``now``."""
+        return all(self.ready[p] and self.ready_at[p] <= now
+                   for p in uop.psrcs)
+
+    def operands_data_valid(self, uop: MicroOp, exec_cycle: int) -> bool:
+        """True when every source's data is genuinely valid at Execute."""
+        return all(self.data_ready_at[p] <= exec_cycle for p in uop.psrcs)
+
+    # -- clock -----------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        """Fire wakeup events scheduled for ``now``.
+
+        Newly source-complete µops are handed to ``on_ready`` (the core
+        routes them into the IQ or recovery-buffer ready lists).
+        """
+        events = self._events.pop(now, None)
+        if not events:
+            return
+        for preg, version in events:
+            if self.version[preg] != version:
+                continue            # squashed/corrected since scheduling
+            self.ready[preg] = True
+            self.wakeups_fired += 1
+            waiters = self._waiters.pop(preg, None)
+            if not waiters:
+                continue
+            for uop in waiters:
+                if uop.dead or uop.pending <= 0:
+                    continue        # squashed permanently, or stale entry
+                uop.pending -= 1
+                if uop.pending == 0:
+                    self.on_ready(uop)
+
+    def drop_waiter(self, uop: MicroOp) -> None:
+        """Best-effort removal of a µop from all waiter lists (squash)."""
+        for preg in uop.psrcs:
+            waiters = self._waiters.get(preg)
+            if waiters and uop in waiters:
+                waiters.remove(uop)

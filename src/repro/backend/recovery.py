@@ -1,0 +1,71 @@
+"""Recovery buffer (Morancho et al., as adapted in Section 3.1).
+
+Every issued non-memory µop parks here between Issue and Execute so the IQ
+entry can be released at issue (the paper found that retaining entries
+cripples a 60-entry scheduler). On a schedule misspeculation the in-flight
+µops are marked ``replay_pending``; once their sources are ready again they
+re-issue *from the buffer head with priority over the IQ*, which merely
+fills the holes in replayed issue groups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.isa.uop import MicroOp
+
+
+class RecoveryBuffer:
+    """Issued-but-not-executed µop store + replay-ready list."""
+
+    def __init__(self) -> None:
+        self._members: Set[MicroOp] = set()
+        self.ready: List[MicroOp] = []    # replay_pending with sources ready
+        self.peak_occupancy = 0
+        self.replays_issued = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, uop: MicroOp) -> bool:
+        return uop in self._members
+
+    def insert(self, uop: MicroOp) -> None:
+        """Called at first issue of a non-memory µop."""
+        self._members.add(uop)
+        if len(self._members) > self.peak_occupancy:
+            self.peak_occupancy = len(self._members)
+
+    def remove(self, uop: MicroOp) -> None:
+        """Called when the µop executes (leaves the danger window)."""
+        self._members.discard(uop)
+        if uop in self.ready:
+            self.ready.remove(uop)
+
+    def make_ready(self, uop: MicroOp) -> None:
+        """A replay-pending member became source-complete."""
+        if uop in self._members and uop.replay_pending and uop not in self.ready:
+            self.ready.append(uop)
+
+    def take_ready(self) -> List[MicroOp]:
+        """Replay candidates, oldest first (head-of-buffer priority)."""
+        if not self.ready:
+            return []
+        self.ready = [u for u in self.ready
+                      if not u.dead and u.replay_pending and u in self._members]
+        self.ready.sort(key=lambda u: u.seq)
+        return self.ready
+
+    def remove_from_ready(self, uop: MicroOp) -> None:
+        if uop in self.ready:
+            self.ready.remove(uop)
+
+    def squash_younger(self, seq: int, inclusive: bool = False) -> List[MicroOp]:
+        doomed = [u for u in self._members
+                  if u.seq > seq or (inclusive and u.seq == seq)]
+        for uop in doomed:
+            self.remove(uop)
+        return doomed
+
+    def members(self) -> List[MicroOp]:
+        return list(self._members)

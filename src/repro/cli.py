@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run WORKLOAD CONFIG`` — simulate one (workload, configuration) pair
+  and print the statistics;
+* ``table1`` — render the machine configuration (paper Table 1);
+* ``table2`` — run Baseline_0 over the selected workloads (paper Table 2);
+* ``figure {3,4,5,7,8}`` — regenerate one evaluation figure;
+* ``list`` — available workloads and configuration presets.
+
+Workload selection and simulation volume follow the ``REPRO_*``
+environment variables (see :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.presets import PRESET_NAMES
+from repro.experiments import figures
+from repro.experiments.report import (
+    breakdown_table,
+    performance_table,
+    summary_line,
+)
+from repro.experiments.runner import Settings
+from repro.experiments.tables import render_table1, render_table2
+from repro.pipeline.sim import run_workload
+from repro.workloads.suite import SUITE
+
+_FIGURES = {
+    "3": (figures.fig3, []),
+    "4": (figures.fig4, [("SpecSched_4 (banked)", None)]),
+    "5": (figures.fig5, [("SpecSched_4_Shift", "SpecSched_4")]),
+    "7": (figures.fig7, [("SpecSched_4_Ctr", "SpecSched_4"),
+                         ("SpecSched_4_Filter", "SpecSched_4")]),
+    "8": (figures.fig8, [("SpecSched_4_Combined", "SpecSched_4"),
+                         ("SpecSched_4_Crit", "SpecSched_4")]),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-effective speculative scheduling (ISCA 2015) "
+                    "reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload/config pair")
+    run_p.add_argument("workload", choices=sorted(SUITE))
+    run_p.add_argument("config", help="e.g. SpecSched_4_Crit")
+    run_p.add_argument("--dual-ported", action="store_true",
+                       help="ideal dual-ported L1D instead of banked")
+    run_p.add_argument("--measure", type=int, default=20_000,
+                       help="measured µops (default 20000)")
+
+    sub.add_parser("table1", help="render the machine configuration")
+    sub.add_parser("table2", help="Baseline_0 IPC per workload")
+
+    fig_p = sub.add_parser("figure", help="regenerate an evaluation figure")
+    fig_p.add_argument("number", choices=sorted(_FIGURES))
+
+    sub.add_parser("list", help="available workloads and presets")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_workload(args.workload, args.config,
+                          banked=not args.dual_ported,
+                          measure_uops=args.measure)
+    stats = result.stats
+    print(f"{result.workload} under {result.config_name}:")
+    for key in ("cycles", "committed_uops", "issued_total", "unique_issued",
+                "replayed_miss", "replayed_bank", "l1d_accesses",
+                "l1d_misses", "l1d_bank_conflicts", "branches",
+                "branch_mispredicts", "issue_cycles_lost"):
+        print(f"  {key:22s} {getattr(stats, key)}")
+    print(f"  {'IPC':22s} {stats.ipc:.3f}")
+    print(f"  {'L1D miss rate':22s} {stats.l1d_miss_rate:.1%}")
+    return 0
+
+
+def _cmd_figure(number: str) -> int:
+    driver, summaries = _FIGURES[number]
+    result = driver(Settings.from_env())
+    print(performance_table(result))
+    for label, reference in summaries:
+        print()
+        print(breakdown_table(result, label))
+        if reference:
+            print(summary_line(result, label, reference))
+    return 0
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name, spec in SUITE.items():
+        kind = "FP " if spec.is_fp else "INT"
+        print(f"  {name:12s} [{kind}] {spec.description}")
+    print("\nconfiguration presets (grammar: see repro.core.presets):")
+    for name in PRESET_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table1":
+        print(render_table1())
+        return 0
+    if args.command == "table2":
+        print(render_table2(Settings.from_env()))
+        return 0
+    if args.command == "figure":
+        return _cmd_figure(args.number)
+    if args.command == "list":
+        return _cmd_list()
+    return 1
+
+
+if __name__ == "__main__":      # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Small numeric helpers used throughout the simulator."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    The paper reports all averaged speedups as geometric means (Section 5).
+
+    Raises:
+        ValueError: if ``values`` is empty or contains a non-positive entry.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    acc = 0.0
+    for v in vals:
+        if v <= 0.0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        acc += math.log(v)
+    return math.exp(acc / len(vals))
+
+
+def clamp(value: int, lo: int, hi: int) -> int:
+    """Clamp ``value`` into the inclusive range [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"empty clamp range [{lo}, {hi}]")
+    return lo if value < lo else hi if value > hi else value
+
+
+def is_pow2(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Exact integer log2; ``n`` must be a power of two."""
+    if not is_pow2(n):
+        raise ValueError(f"{n} is not a power of two")
+    return n.bit_length() - 1

@@ -1,0 +1,145 @@
+"""Simulation statistics.
+
+The counters here define the metrics of every figure in the paper:
+
+* ``ipc`` — committed correct-path µops per cycle (Figures 3, 4a, 5a, 7a, 8a
+  report IPC ratios against Baseline_0);
+* ``unique_issued`` / ``replayed_miss`` / ``replayed_bank`` — the issued-µop
+  breakdown of Figures 4b, 5b, 7b, 8b (*Unique*, *RpldMiss*, *RpldBank*);
+* squash-event counts, cache counters, predictor counters used by
+  EXPERIMENTS.md and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: Replay causes (Section 4.2). Only these two occur with a monolithic PRF.
+CAUSE_L1_MISS = "l1_miss"
+CAUSE_BANK_CONFLICT = "bank_conflict"
+
+
+@dataclass
+class SimStats:
+    """Mutable counter bag filled in by every pipeline component."""
+
+    cycles: int = 0
+    committed_uops: int = 0
+
+    # Issue accounting.
+    issued_total: int = 0          # every issue event, incl. replays & wrong path
+    unique_issued: int = 0         # distinct µops that issued at least once
+    wrong_path_issued: int = 0     # issue events for wrong-path µops
+    replayed_miss: int = 0         # µop-issues cancelled due to an L1 miss
+    replayed_bank: int = 0         # µop-issues cancelled due to an L1 bank conflict
+
+    # Scheduler events.
+    squash_events_miss: int = 0
+    squash_events_bank: int = 0
+    issue_cycles_lost: int = 0     # cycles with issue blocked by replay handling
+    conservative_loads: int = 0    # loads whose dependents were not woken early
+    speculative_loads: int = 0     # loads that woke dependents assuming a hit
+    shifted_loads: int = 0         # second-of-group loads shifted by one cycle
+
+    # Branch prediction.
+    branches: int = 0
+    branch_mispredicts: int = 0
+
+    # Memory system.
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l1d_bank_conflicts: int = 0    # loads delayed by at least one cycle
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dram_reads: int = 0
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0
+    store_forwards: int = 0
+    memory_order_violations: int = 0
+
+    # Hit/miss filter + criticality predictor bookkeeping.
+    filter_sure_hit: int = 0
+    filter_sure_miss: int = 0
+    filter_deferred: int = 0
+    crit_predicted_critical: int = 0
+    crit_predicted_noncritical: int = 0
+
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Committed µops per cycle (0.0 before any cycle has elapsed)."""
+        return self.committed_uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def replayed_total(self) -> int:
+        return self.replayed_miss + self.replayed_bank
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return self.l1d_misses / self.l1d_accesses if self.l1d_accesses else 0.0
+
+    @property
+    def branch_mpki(self) -> float:
+        """Branch mispredictions per kilo committed µop."""
+        if not self.committed_uops:
+            return 0.0
+        return 1000.0 * self.branch_mispredicts / self.committed_uops
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment an ad-hoc counter in :attr:`extra`."""
+        self.extra[key] = self.extra.get(key, 0) + amount
+
+    def record_replayed(self, cause: str, count: int) -> None:
+        """Attribute ``count`` cancelled µop-issues to a squash cause."""
+        if cause == CAUSE_L1_MISS:
+            self.replayed_miss += count
+            self.squash_events_miss += 1
+        elif cause == CAUSE_BANK_CONFLICT:
+            self.replayed_bank += count
+            self.squash_events_bank += 1
+        else:
+            raise ValueError(f"unknown replay cause {cause!r}")
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict view (counters + derived rates) for reporting."""
+        out: Dict[str, float] = {}
+        for name, value in self.__dict__.items():
+            if name == "extra":
+                continue
+            out[name] = value
+        out.update(self.extra)
+        out["ipc"] = self.ipc
+        out["replayed_total"] = self.replayed_total
+        out["l1d_miss_rate"] = self.l1d_miss_rate
+        return out
+
+    def delta_since(self, earlier: "SimStats") -> "SimStats":
+        """Counter-wise difference, used to discard warmup.
+
+        Derived properties recompute automatically from the subtracted
+        counters.
+        """
+        diff = SimStats()
+        for name, value in self.__dict__.items():
+            if name == "extra":
+                continue
+            setattr(diff, name, value - getattr(earlier, name))
+        diff.extra = {
+            key: value - earlier.extra.get(key, 0)
+            for key, value in self.extra.items()
+        }
+        return diff
+
+    def copy(self) -> "SimStats":
+        dup = SimStats()
+        for name, value in self.__dict__.items():
+            if name == "extra":
+                continue
+            setattr(dup, name, value)
+        dup.extra = dict(self.extra)
+        return dup

@@ -1,0 +1,123 @@
+"""Policy composition — the decision tree of Sections 5.2 and 5.3.
+
+:class:`ComposedPolicy` implements every SpecSched_* variant through three
+orthogonal switches (mirroring :class:`repro.common.config.SchedPolicyConfig`):
+
+* ``hit_miss``: *always_hit* | *global_ctr* | *filter_ctr*;
+* ``schedule_shifting``: on/off;
+* ``criticality``: on/off (requires the filter; SpecSched_4_Crit).
+
+Decision for a load (Section 5.3): a *sure hit* from the filter always
+speculates; a *sure miss* never does; otherwise, if criticality gating is
+on and the load is predicted non-critical, dependents are stalled;
+remaining cases follow the global counter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import HitMissPolicy, SchedPolicyConfig
+from repro.common.stats import SimStats
+from repro.core.criticality import CriticalityPredictor
+from repro.core.global_ctr import GlobalHitMissCounter
+from repro.core.hm_filter import FilterPrediction, HitMissFilter
+from repro.core.policy import (
+    AlwaysHitPolicy,
+    ConservativePolicy,
+    LoadDecision,
+    SchedulingPolicy,
+)
+from repro.core.shifting import ScheduleShifter
+from repro.isa.uop import MicroOp
+
+
+class ComposedPolicy(SchedulingPolicy):
+    """Shifting + hit/miss filtering + criticality, per configuration."""
+
+    speculative = True
+
+    def __init__(self, sched: SchedPolicyConfig, load_to_use: int,
+                 stats: Optional[SimStats] = None) -> None:
+        super().__init__(load_to_use)
+        sched.validate()
+        self.sched = sched
+        self.stats = stats if stats is not None else SimStats()
+        self.shifter = ScheduleShifter(sched.schedule_shifting)
+        self.global_ctr = GlobalHitMissCounter(
+            sched.global_ctr_bits, sched.global_ctr_dec, sched.global_ctr_inc)
+        self.hm_filter: Optional[HitMissFilter] = None
+        if sched.hit_miss == HitMissPolicy.FILTER_CTR:
+            self.hm_filter = HitMissFilter(
+                sched.filter_entries, sched.filter_ctr_bits,
+                sched.filter_reset_interval,
+                use_silence_bit=sched.filter_silence_bit)
+        self.crit: Optional[CriticalityPredictor] = None
+        if sched.criticality:
+            if self.hm_filter is None:
+                raise ValueError(
+                    "criticality gating requires the hit/miss filter "
+                    "(the paper's SpecSched_*_Crit builds on _Combined)")
+            self.crit = CriticalityPredictor(
+                sched.crit_entries, sched.crit_ctr_bits)
+
+    # -- decision ----------------------------------------------------------
+
+    def decide(self, uop: MicroOp, loads_already_this_cycle: int) -> LoadDecision:
+        speculate = self._should_speculate(uop)
+        promised = self.shifter.promised_latency(
+            self.load_to_use, loads_already_this_cycle) if speculate \
+            else self.load_to_use
+        if promised > self.load_to_use:
+            self.stats.shifted_loads += 1
+        return LoadDecision(speculate, promised)
+
+    def _should_speculate(self, uop: MicroOp) -> bool:
+        stats = self.stats
+        if self.hm_filter is not None:
+            pred = self.hm_filter.predict(uop.pc)
+            if pred is FilterPrediction.SURE_HIT:
+                stats.filter_sure_hit += 1
+                return True
+            if pred is FilterPrediction.SURE_MISS:
+                stats.filter_sure_miss += 1
+                return False
+            stats.filter_deferred += 1
+        if self.crit is not None:
+            if self.crit.predict_critical(uop.pc):
+                stats.crit_predicted_critical += 1
+            else:
+                stats.crit_predicted_noncritical += 1
+                return False          # non-critical, not a sure hit: stall
+        if self.sched.hit_miss == HitMissPolicy.ALWAYS_HIT:
+            return True
+        return self.global_ctr.predict_hit()
+
+    # -- training hooks ---------------------------------------------------------
+
+    def on_cycle(self, l1_miss_this_cycle: bool,
+                 l1_access_this_cycle: bool = True) -> None:
+        if not l1_access_this_cycle:
+            return
+        if self.sched.hit_miss != HitMissPolicy.ALWAYS_HIT:
+            self.global_ctr.observe_cycle(l1_miss_this_cycle)
+
+    def on_load_commit(self, uop: MicroOp) -> None:
+        if self.hm_filter is not None:
+            self.hm_filter.train(uop.pc, uop.l1_hit)
+
+    def on_uop_commit(self, uop: MicroOp) -> None:
+        if self.crit is not None:
+            self.crit.train(uop.pc, uop.was_critical)
+
+
+def build_policy(sched: SchedPolicyConfig, load_to_use: int,
+                 stats: Optional[SimStats] = None) -> SchedulingPolicy:
+    """Policy factory used by the simulator."""
+    if not sched.speculative:
+        return ConservativePolicy(load_to_use)
+    needs_composition = (sched.hit_miss != HitMissPolicy.ALWAYS_HIT
+                         or sched.schedule_shifting or sched.criticality)
+    if not needs_composition:
+        return AlwaysHitPolicy(load_to_use)
+    return ComposedPolicy(sched, load_to_use, stats)

@@ -1,0 +1,46 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.runner` — grid runner over (configuration,
+  workload) with in-process caching;
+* :mod:`repro.experiments.figures` — one driver per figure (3, 4, 5, 7, 8)
+  plus the Section-5.3 delay sweep and the headline summary;
+* :mod:`repro.experiments.tables` — Table 1 / Table 2 renderers;
+* :mod:`repro.experiments.report` — ASCII table formatting;
+* :mod:`repro.experiments.timeline` — the pipeline timing diagrams of
+  Figures 1, 2 and 6.
+"""
+
+from repro.experiments.runner import (
+    ConfigRequest,
+    ExperimentResult,
+    Settings,
+    run_experiment,
+)
+from repro.experiments.figures import (
+    fig3,
+    fig4,
+    fig5,
+    fig7,
+    fig8,
+    delay_sweep,
+    headline,
+)
+from repro.experiments.tables import render_table1, table2
+from repro.experiments.report import format_table
+
+__all__ = [
+    "ConfigRequest",
+    "ExperimentResult",
+    "Settings",
+    "delay_sweep",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "format_table",
+    "headline",
+    "render_table1",
+    "run_experiment",
+    "table2",
+]

@@ -1,0 +1,137 @@
+"""One driver per paper figure.
+
+Each function runs the exact configuration grid of the corresponding
+figure and returns an :class:`ExperimentResult`; ``print_*`` helpers in
+:mod:`repro.experiments.report` render the paper-style rows. The
+benchmarks call these and record paper-vs-measured in EXPERIMENTS.md.
+
+Reference frame: as in Section 5, everything is normalized to
+**Baseline_0 with a dual-ported L1D** (the ideal machine in this context).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments.runner import (
+    ConfigRequest,
+    ExperimentResult,
+    Settings,
+    run_experiment,
+)
+
+#: Every figure normalizes to this series.
+BASELINE = ConfigRequest("Baseline_0", "Baseline_0", banked=False)
+
+
+def fig3(settings: Optional[Settings] = None) -> ExperimentResult:
+    """Figure 3: cost of *conservative* scheduling as the issue-to-execute
+    delay grows (plus the single-load-port bar)."""
+    requests = [
+        BASELINE,
+        ConfigRequest("Baseline_0, 1 load/cycle", "Baseline_0",
+                      banked=False, load_ports=1),
+        ConfigRequest("Baseline_2", "Baseline_2", banked=False),
+        ConfigRequest("Baseline_4", "Baseline_4", banked=False),
+        ConfigRequest("Baseline_6", "Baseline_6", banked=False),
+    ]
+    return run_experiment("fig3", requests, BASELINE.label, settings)
+
+
+def fig4(settings: Optional[Settings] = None) -> ExperimentResult:
+    """Figure 4: speculative scheduling with dual-ported vs banked L1
+    (performance, a) and the issued-µop breakdown for the banked case (b)."""
+    requests = [BASELINE]
+    for delay in (2, 4, 6):
+        requests.append(ConfigRequest(
+            f"SpecSched_{delay} (dual)", f"SpecSched_{delay}", banked=False))
+        requests.append(ConfigRequest(
+            f"SpecSched_{delay} (banked)", f"SpecSched_{delay}", banked=True))
+    return run_experiment("fig4", requests, BASELINE.label, settings)
+
+
+def fig5(settings: Optional[Settings] = None) -> ExperimentResult:
+    """Figure 5: Schedule Shifting on the banked L1."""
+    requests = [
+        BASELINE,
+        ConfigRequest("SpecSched_4", "SpecSched_4", banked=True),
+        ConfigRequest("SpecSched_4_Shift", "SpecSched_4_Shift", banked=True),
+    ]
+    return run_experiment("fig5", requests, BASELINE.label, settings)
+
+
+def fig7(settings: Optional[Settings] = None) -> ExperimentResult:
+    """Figure 7: hit/miss filtering (global counter alone, filter+counter)."""
+    requests = [
+        BASELINE,
+        ConfigRequest("SpecSched_4", "SpecSched_4", banked=True),
+        ConfigRequest("SpecSched_4_Ctr", "SpecSched_4_Ctr", banked=True),
+        ConfigRequest("SpecSched_4_Filter", "SpecSched_4_Filter", banked=True),
+    ]
+    return run_experiment("fig7", requests, BASELINE.label, settings)
+
+
+def fig8(settings: Optional[Settings] = None) -> ExperimentResult:
+    """Figure 8: the combined mechanisms and criticality gating."""
+    requests = [
+        BASELINE,
+        ConfigRequest("SpecSched_4", "SpecSched_4", banked=True),
+        ConfigRequest("SpecSched_4_Combined", "SpecSched_4_Combined",
+                      banked=True),
+        ConfigRequest("SpecSched_4_Crit", "SpecSched_4_Crit", banked=True),
+    ]
+    return run_experiment("fig8", requests, BASELINE.label, settings)
+
+
+def delay_sweep(settings: Optional[Settings] = None) -> ExperimentResult:
+    """Section 5.3's closing sweep: _Crit vs plain SpecSched at D=2 and 6."""
+    requests = [BASELINE]
+    for delay in (2, 6):
+        requests.append(ConfigRequest(
+            f"SpecSched_{delay}", f"SpecSched_{delay}", banked=True))
+        requests.append(ConfigRequest(
+            f"SpecSched_{delay}_Crit", f"SpecSched_{delay}_Crit", banked=True))
+    return run_experiment("delay_sweep", requests, BASELINE.label, settings)
+
+
+@dataclass
+class HeadlineNumbers:
+    """The abstract/conclusion summary (Sections 1 and 6)."""
+
+    bank_replay_reduction: float      # paper: 78.0% (abstract)
+    miss_replay_reduction: float      # paper: 96.5% (abstract)
+    total_replay_reduction: float     # paper: 90.6%
+    issued_uop_reduction: float       # paper: 13.4%
+    speedup_over_specsched: float     # paper: +3.4%
+    combined_replay_reduction: float  # paper: 68.2% (SpecSched_4_Combined)
+    combined_speedup: float           # paper: +3.7%
+
+    def rows(self) -> Dict[str, float]:
+        return {
+            "bank replays avoided (Crit)": self.bank_replay_reduction,
+            "miss replays avoided (Crit)": self.miss_replay_reduction,
+            "total replays avoided (Crit)": self.total_replay_reduction,
+            "issued-uop reduction (Crit)": self.issued_uop_reduction,
+            "speedup over SpecSched_4 (Crit)": self.speedup_over_specsched,
+            "total replays avoided (Combined)": self.combined_replay_reduction,
+            "speedup over SpecSched_4 (Combined)": self.combined_speedup,
+        }
+
+
+def headline(settings: Optional[Settings] = None) -> HeadlineNumbers:
+    """Compute the paper's headline numbers from the Figure-8 grid."""
+    result = fig8(settings)
+    crit = "SpecSched_4_Crit"
+    combined = "SpecSched_4_Combined"
+    spec = "SpecSched_4"
+    return HeadlineNumbers(
+        bank_replay_reduction=result.replay_reduction(crit, spec, "bank"),
+        miss_replay_reduction=result.replay_reduction(crit, spec, "miss"),
+        total_replay_reduction=result.replay_reduction(crit, spec, "total"),
+        issued_uop_reduction=result.issued_reduction(crit, spec),
+        speedup_over_specsched=result.speedup_over(crit, spec) - 1.0,
+        combined_replay_reduction=result.replay_reduction(
+            combined, spec, "total"),
+        combined_speedup=result.speedup_over(combined, spec) - 1.0,
+    )

@@ -1,0 +1,78 @@
+"""ASCII rendering of experiment results (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def performance_table(result: ExperimentResult,
+                      labels: Optional[Sequence[str]] = None) -> str:
+    """Figure (a) style: per-workload IPC normalized to the baseline."""
+    labels = list(labels or [l for l in result.labels()
+                             if l != result.baseline_label])
+    headers = ["workload"] + list(labels)
+    rows = []
+    ratios = {label: result.ipc_ratio(label) for label in labels}
+    for wl in result.workloads:
+        rows.append([wl] + [f"{ratios[label][wl]:.3f}" for label in labels])
+    rows.append(["gmean"] + [f"{result.gmean_ipc_ratio(label):.3f}"
+                             for label in labels])
+    return format_table(headers, rows,
+                        title=f"[{result.name}] IPC normalized to "
+                              f"{result.baseline_label}")
+
+
+def breakdown_table(result: ExperimentResult, label: str) -> str:
+    """Figure (b) style: Unique / RpldMiss / RpldBank per workload."""
+    headers = ["workload", "Unique", "RpldMiss", "RpldBank", "Total"]
+    rows = []
+    breakdown = result.breakdown(label)
+    for wl in result.workloads:
+        b = breakdown[wl]
+        rows.append([wl, f"{b['unique']:.3f}", f"{b['rpld_miss']:.3f}",
+                     f"{b['rpld_bank']:.3f}", f"{b['total']:.3f}"])
+    n = len(result.workloads)
+    rows.append([
+        "mean",
+        f"{sum(b['unique'] for b in breakdown.values()) / n:.3f}",
+        f"{sum(b['rpld_miss'] for b in breakdown.values()) / n:.3f}",
+        f"{sum(b['rpld_bank'] for b in breakdown.values()) / n:.3f}",
+        f"{sum(b['total'] for b in breakdown.values()) / n:.3f}",
+    ])
+    return format_table(
+        headers, rows,
+        title=f"[{result.name}] issued µops for {label}, normalized to "
+              f"{result.baseline_label} issued µops")
+
+
+def summary_line(result: ExperimentResult, label: str,
+                 reference: str) -> str:
+    """One-line digest: speedup + replay/issued reductions vs reference."""
+    speedup = result.speedup_over(label, reference) - 1.0
+    total = result.replay_reduction(label, reference, "total")
+    miss = result.replay_reduction(label, reference, "miss")
+    bank = result.replay_reduction(label, reference, "bank")
+    issued = result.issued_reduction(label, reference)
+    return (f"{label} vs {reference}: speedup {speedup:+.1%}, replays "
+            f"-{total:.1%} (miss -{miss:.1%}, bank -{bank:.1%}), "
+            f"issued µops -{issued:.1%}")

@@ -1,0 +1,206 @@
+"""Grid runner: (configuration x workload) sweeps with caching.
+
+Every figure driver funnels through :func:`run_experiment`, so simulation
+volume is controlled in one place. Scale knobs come from the environment:
+
+* ``REPRO_WORKLOADS`` — ``subset`` (default, 12 diverse workloads),
+  ``full`` (all 36), or a comma-separated list of names;
+* ``REPRO_WARMUP`` / ``REPRO_MEASURE`` — µop counts per run (defaults
+  3000/12000: small enough for CI, large enough for stable shapes).
+
+Results are memoized per (config identity, workload, µop counts) within
+the process, so benchmarks that share configurations (e.g. every figure
+needs Baseline_0) do not re-simulate.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.mathutil import geomean
+from repro.common.stats import SimStats
+from repro.core.presets import make_config
+from repro.pipeline.cpu import Simulator
+from repro.workloads.suite import DEFAULT_SUBSET, SUITE, get_workload
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Simulation volume for one experiment sweep."""
+
+    workloads: Tuple[str, ...]
+    warmup_uops: int = 3_000
+    measure_uops: int = 12_000
+    functional_warmup_uops: int = 60_000
+    seed: int = 1
+
+    @staticmethod
+    def from_env() -> "Settings":
+        selector = os.environ.get("REPRO_WORKLOADS", "subset").strip()
+        if selector == "full":
+            names: Tuple[str, ...] = tuple(SUITE)
+        elif selector == "subset":
+            names = tuple(DEFAULT_SUBSET)
+        else:
+            names = tuple(n.strip() for n in selector.split(",") if n.strip())
+            for name in names:
+                get_workload(name)    # fail fast on typos
+        warmup = int(os.environ.get("REPRO_WARMUP", "3000"))
+        measure = int(os.environ.get("REPRO_MEASURE", "12000"))
+        fwarm = int(os.environ.get("REPRO_FUNC_WARMUP", "60000"))
+        return Settings(workloads=names, warmup_uops=warmup,
+                        measure_uops=measure,
+                        functional_warmup_uops=fwarm)
+
+
+@dataclass(frozen=True)
+class ConfigRequest:
+    """One machine configuration in a sweep."""
+
+    label: str                  # series name in the figure
+    preset: str                 # e.g. "SpecSched_4_Crit"
+    banked: bool = True
+    load_ports: int = 2
+
+    def cache_key(self) -> Tuple:
+        return (self.preset, self.banked, self.load_ports)
+
+
+class ExperimentResult:
+    """Stats grid + the normalizations the figures report."""
+
+    def __init__(self, name: str, baseline_label: str,
+                 workloads: Sequence[str]) -> None:
+        self.name = name
+        self.baseline_label = baseline_label
+        self.workloads = list(workloads)
+        # label -> workload -> SimStats
+        self.stats: Dict[str, Dict[str, SimStats]] = {}
+
+    # -- ingestion -------------------------------------------------------
+
+    def add(self, label: str, workload: str, stats: SimStats) -> None:
+        self.stats.setdefault(label, {})[workload] = stats
+
+    def labels(self) -> List[str]:
+        return list(self.stats)
+
+    def get(self, label: str, workload: str) -> SimStats:
+        return self.stats[label][workload]
+
+    # -- figure (a): performance normalized to the baseline -----------------
+
+    def ipc_ratio(self, label: str) -> Dict[str, float]:
+        base = self.stats[self.baseline_label]
+        return {
+            wl: self.stats[label][wl].ipc / base[wl].ipc if base[wl].ipc else 0.0
+            for wl in self.workloads
+        }
+
+    def gmean_ipc_ratio(self, label: str) -> float:
+        return geomean(self.ipc_ratio(label).values())
+
+    def speedup_over(self, label: str, reference: str) -> float:
+        """Geometric-mean speedup of ``label`` over ``reference``."""
+        ref = self.ipc_ratio(reference)
+        tgt = self.ipc_ratio(label)
+        return geomean(tgt[wl] / ref[wl] for wl in self.workloads)
+
+    # -- figure (b): issued-µop breakdown normalized to the baseline ---------
+
+    def breakdown(self, label: str) -> Dict[str, Dict[str, float]]:
+        """Per workload: Unique / RpldMiss / RpldBank / Total, each
+        normalized to the baseline's issued µops (the paper's Fig. 4b-8b
+        y-axis)."""
+        base = self.stats[self.baseline_label]
+        out: Dict[str, Dict[str, float]] = {}
+        for wl in self.workloads:
+            stats = self.stats[label][wl]
+            denom = base[wl].issued_total or 1
+            out[wl] = {
+                "unique": stats.unique_issued / denom,
+                "rpld_miss": stats.replayed_miss / denom,
+                "rpld_bank": stats.replayed_bank / denom,
+                "total": stats.issued_total / denom,
+            }
+        return out
+
+    def total_replays(self, label: str) -> Tuple[int, int]:
+        """(miss, bank) replayed-µop totals across workloads."""
+        miss = sum(self.stats[label][wl].replayed_miss for wl in self.workloads)
+        bank = sum(self.stats[label][wl].replayed_bank for wl in self.workloads)
+        return miss, bank
+
+    def total_issued(self, label: str) -> int:
+        return sum(self.stats[label][wl].issued_total for wl in self.workloads)
+
+    def replay_reduction(self, label: str, reference: str,
+                         kind: str = "total") -> float:
+        """Fractional reduction in replayed µops vs ``reference``."""
+        ref_miss, ref_bank = self.total_replays(reference)
+        lbl_miss, lbl_bank = self.total_replays(label)
+        pick = {
+            "total": (ref_miss + ref_bank, lbl_miss + lbl_bank),
+            "miss": (ref_miss, lbl_miss),
+            "bank": (ref_bank, lbl_bank),
+        }
+        ref_val, lbl_val = pick[kind]
+        if ref_val == 0:
+            return 0.0
+        return 1.0 - lbl_val / ref_val
+
+    def issued_reduction(self, label: str, reference: str) -> float:
+        ref = self.total_issued(reference)
+        if ref == 0:
+            return 0.0
+        return 1.0 - self.total_issued(label) / ref
+
+
+# In-process memo: (preset, banked, load_ports, workload, warmup, measure,
+# seed) -> SimStats. Benchmarks share Baseline_0 etc. across figures.
+_CACHE: Dict[Tuple, SimStats] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def _simulate(request: ConfigRequest, workload: str,
+              settings: Settings) -> SimStats:
+    key = request.cache_key() + (workload, settings.warmup_uops,
+                                 settings.measure_uops,
+                                 settings.functional_warmup_uops,
+                                 settings.seed)
+    hit = _CACHE.get(key)
+    if hit is not None:
+        return hit
+    config = make_config(request.preset, banked=request.banked,
+                         load_ports=request.load_ports)
+    spec = get_workload(workload)
+    sim = Simulator(config, spec.build_trace(settings.seed))
+    if settings.functional_warmup_uops:
+        sim.functional_warmup(spec.build_trace(settings.seed),
+                              settings.functional_warmup_uops)
+    stats = sim.run_with_warmup(settings.warmup_uops, settings.measure_uops)
+    _CACHE[key] = stats
+    return stats
+
+
+def run_experiment(name: str, requests: Sequence[ConfigRequest],
+                   baseline_label: str,
+                   settings: Optional[Settings] = None) -> ExperimentResult:
+    """Run the grid and return the populated :class:`ExperimentResult`."""
+    settings = settings or Settings.from_env()
+    labels = [r.label for r in requests]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"duplicate series labels in experiment {name!r}")
+    if baseline_label not in labels:
+        raise ValueError(f"baseline {baseline_label!r} not among series")
+    result = ExperimentResult(name, baseline_label, settings.workloads)
+    for request in requests:
+        for workload in settings.workloads:
+            result.add(request.label, workload,
+                       _simulate(request, workload, settings))
+    return result

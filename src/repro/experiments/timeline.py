@@ -1,0 +1,78 @@
+"""Pipeline timing diagrams (Figures 1, 2 and 6 as ASCII).
+
+:class:`TracingSimulator` records every issue/execute/squash event;
+:func:`render_timeline` draws the classic pipeline diagram: ``I`` the issue
+cycle, ``-`` transit between Issue and Execute, ``E`` execution, ``x`` a
+squashed (replayed) issue attempt. Used by ``examples/timeline_diagrams.py``
+to reproduce the paper's illustrative figures from live simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import SimConfig
+from repro.isa.trace import TraceSource
+from repro.isa.uop import MicroOp
+from repro.pipeline.cpu import Simulator
+
+
+class TracingSimulator(Simulator):
+    """Simulator that keeps a per-µop event log."""
+
+    def __init__(self, config: SimConfig, trace: TraceSource) -> None:
+        super().__init__(config, trace)
+        # seq -> list of (issue_cycle, exec_start, squashed?)
+        self.issue_log: Dict[int, List[List[int]]] = {}
+
+    def _do_issue(self, uop: MicroOp, now: int, loads_before: int) -> None:
+        super()._do_issue(uop, now, loads_before)
+        self.issue_log.setdefault(uop.seq, []).append(
+            [now, uop.exec_start, 0])
+
+    def _handle_replay(self, now: int) -> None:
+        doomed_before = {
+            u.seq: u.issue_cycle for u in self.replay.squashable_uops(now)}
+        super()._handle_replay(now)
+        for seq, issue_cycle in doomed_before.items():
+            for attempt in self.issue_log.get(seq, []):
+                if attempt[0] == issue_cycle:
+                    attempt[2] = 1
+
+
+def render_timeline(sim: TracingSimulator, seqs: Optional[List[int]] = None,
+                    labels: Optional[Dict[int, str]] = None,
+                    max_cycles: int = 60) -> str:
+    """Draw the recorded timeline for the chosen µop sequence numbers."""
+    seqs = seqs if seqs is not None else sorted(sim.issue_log)
+    labels = labels or {}
+    events: List[Tuple[int, str, List[List[int]]]] = []
+    t0 = None
+    for seq in seqs:
+        attempts = sim.issue_log.get(seq, [])
+        if not attempts:
+            continue
+        first = min(a[0] for a in attempts)
+        t0 = first if t0 is None else min(t0, first)
+        events.append((seq, labels.get(seq, f"uop{seq}"), attempts))
+    if t0 is None:
+        return "(no issue events recorded)"
+    width = max(len(lbl) for _, lbl, _ in events) + 2
+    header = " " * width + "".join(
+        f"{(t0 + c) % 10}" for c in range(max_cycles))
+    lines = [header]
+    for seq, label, attempts in events:
+        row = [" "] * max_cycles
+        for issue, exec_start, squashed in attempts:
+            i, e = issue - t0, exec_start - t0
+            if i >= max_cycles:
+                continue
+            mark = "x" if squashed else "I"
+            row[i] = mark
+            for c in range(i + 1, min(e, max_cycles)):
+                if row[c] == " ":
+                    row[c] = "."
+            if not squashed and e < max_cycles:
+                row[e] = "E"
+        lines.append(label.ljust(width) + "".join(row))
+    return "\n".join(lines)

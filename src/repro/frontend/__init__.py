@@ -1,0 +1,9 @@
+"""Frontend: branch prediction (TAGE-lite, BTB, RAS) and the fetch stage."""
+
+from repro.frontend.tage import TageLite
+from repro.frontend.btb import Btb
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.branch_unit import BranchUnit
+from repro.frontend.fetch import FetchStage
+
+__all__ = ["BranchUnit", "Btb", "FetchStage", "ReturnAddressStack", "TageLite"]

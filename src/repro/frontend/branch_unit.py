@@ -1,0 +1,96 @@
+"""Branch unit: combines TAGE-lite, the BTB and the RAS.
+
+Prediction happens at fetch; training happens at branch resolution (the
+Execute stage). Each predicted branch carries a ``bp_state`` blob (TAGE
+provider info + history/RAS snapshots) so a misprediction can repair the
+speculative frontend state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common.config import BranchPredictorConfig
+from repro.frontend.btb import Btb
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.tage import TageLite
+from repro.isa.opclass import OpClass
+from repro.isa.uop import MicroOp
+
+
+class BranchUnit:
+    """Frontend branch prediction state machine."""
+
+    def __init__(self, config: Optional[BranchPredictorConfig] = None) -> None:
+        self.config = config or BranchPredictorConfig()
+        self.tage = TageLite(self.config)
+        self.btb = Btb(self.config.btb_entries, self.config.btb_ways)
+        self.ras = ReturnAddressStack(self.config.ras_entries)
+        self.lookups = 0
+
+    def predict(self, uop: MicroOp) -> Tuple[bool, int]:
+        """Predict direction and target for a branch µop at fetch.
+
+        Returns ``(pred_taken, pred_target)`` and stashes recovery state on
+        the µop. A BTB miss on a predicted-taken conditional demotes the
+        prediction to not-taken (the frontend has no target to redirect to).
+        """
+        self.lookups += 1
+        pc = uop.pc
+        if uop.opclass == OpClass.CALL:
+            state = {"kind": "call", "ras": self.ras.snapshot(),
+                     "history": self.tage.snapshot_history()}
+            self.ras.push(pc + 1)
+            target = self.btb.lookup(pc)
+            uop.bp_state = state
+            return True, target if target is not None else uop.target
+
+        if uop.opclass == OpClass.RET:
+            state = {"kind": "ret", "ras": self.ras.snapshot(),
+                     "history": self.tage.snapshot_history()}
+            target = self.ras.pop()
+            uop.bp_state = state
+            return True, target
+
+        pred_taken, tage_state = self.tage.predict(pc)
+        state = {"kind": "cond", "tage": tage_state,
+                 "ras": self.ras.snapshot()}
+        uop.bp_state = state
+        if not pred_taken:
+            return False, pc + 1
+        target = self.btb.lookup(pc)
+        if target is None:
+            # No target available: fall through; resolves as a mispredict
+            # if the branch is actually taken.
+            return False, pc + 1
+        return True, target
+
+    def resolve(self, uop: MicroOp) -> bool:
+        """Train predictors when a branch executes; True if mispredicted."""
+        state = uop.bp_state or {}
+        mispredicted = (uop.pred_taken != uop.taken) or (
+            uop.taken and uop.pred_target != uop.target)
+        if state.get("kind") == "cond":
+            self.tage.update(uop.taken, state["tage"])
+        if uop.taken:
+            self.btb.install(uop.pc, uop.target)
+        if mispredicted:
+            self._repair(uop)
+        return mispredicted
+
+    def _repair(self, uop: MicroOp) -> None:
+        """Restore speculative history/RAS to the post-branch state."""
+        state = uop.bp_state or {}
+        if "ras" in state:
+            self.ras.restore(state["ras"])
+        kind = state.get("kind")
+        if kind == "cond":
+            self.tage.restore_history(state["tage"]["history"])
+            # Re-apply the *actual* outcome to the history.
+            self.tage._push_history(uop.taken)
+        elif "history" in state:
+            self.tage.restore_history(state["history"])
+        if kind == "call":
+            self.ras.push(uop.pc + 1)
+        elif kind == "ret":
+            self.ras.pop()

@@ -1,0 +1,45 @@
+"""Branch target buffer — 2-way, 8K entries (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Btb:
+    """Set-associative BTB with LRU within each set."""
+
+    def __init__(self, entries: int = 8192, ways: int = 2) -> None:
+        if entries % ways != 0:
+            raise ValueError("BTB entries must divide evenly into ways")
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways
+        # per-set dict: pc -> (target, lru_stamp)
+        self._sets: List[Dict[int, tuple]] = [dict() for _ in range(self.num_sets)]
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, pc: int) -> Dict[int, tuple]:
+        return self._sets[(pc >> 2) % self.num_sets]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target for a branch at ``pc``, or None on a BTB miss."""
+        entry = self._set_of(pc).get(pc)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._stamp += 1
+        target = entry[0]
+        self._set_of(pc)[pc] = (target, self._stamp)
+        return target
+
+    def install(self, pc: int, target: int) -> None:
+        """Record (or refresh) a taken branch's target."""
+        btb_set = self._set_of(pc)
+        self._stamp += 1
+        if pc not in btb_set and len(btb_set) >= self.ways:
+            victim = min(btb_set, key=lambda key: btb_set[key][1])
+            del btb_set[victim]
+        btb_set[pc] = (target, self._stamp)

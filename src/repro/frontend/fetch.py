@@ -1,0 +1,158 @@
+"""Fetch stage and the frontend delay pipe.
+
+Fetches up to ``fetch_width`` µops per cycle from a :class:`TraceSource`
+(two 16-byte blocks, potentially across one taken branch: a *second*
+predicted-taken branch ends the fetch group). Fetched µops travel through a
+``frontend_depth``-cycle delay pipe before becoming visible to Rename —
+this is the 15−D-cycle in-order frontend of Section 3.1, which shrinks as
+the issue-to-execute delay D grows so the branch misprediction penalty
+stays constant.
+
+On a branch misprediction the stage switches to *wrong-path mode*: it stops
+consuming the correct-path trace and injects synthetic wrong-path µops
+(which consume rename/issue/execute resources and show up in the *Unique*
+issued-µop counts, as in Figure 4b) until the branch resolves and
+:meth:`redirect` is called.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.common.config import CoreConfig
+from repro.common.stats import SimStats
+from repro.frontend.branch_unit import BranchUnit
+from repro.isa.trace import TraceSource
+from repro.isa.uop import MicroOp
+
+#: Cycles between branch resolution and the first re-fetched µop. Together
+#: with the constant frontend_depth + D = 15 sum, this keeps the minimum
+#: misprediction penalty constant (~20 cycles) across delay configurations.
+REDIRECT_BUBBLE = 2
+
+
+class FetchStage:
+    """In-order fetch + frontend delay pipe."""
+
+    def __init__(self, trace: TraceSource, branch_unit: BranchUnit,
+                 config: CoreConfig, stats: SimStats) -> None:
+        self.trace = trace
+        self.branch_unit = branch_unit
+        self.config = config
+        self.stats = stats
+        self.width = config.fetch_width
+        self.depth = config.frontend_depth
+        # (ready_cycle, uop) in fetch order.
+        self.pipe: Deque[Tuple[int, MicroOp]] = deque()
+        # Correct-path µops to re-fetch after a memory-order violation.
+        self.replay_queue: Deque[MicroOp] = deque()
+        self.wrong_path = False
+        self._wrong_path_pc = 0
+        self._stall_until = 0
+        self._next_seq = 0
+        self.trace_exhausted = False
+        self.fetched_correct = 0
+        self.fetched_wrong = 0
+
+    # ------------------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        """Fetch one group of µops."""
+        if now < self._stall_until:
+            return
+        taken_seen = 0
+        for _ in range(self.width):
+            uop = self._next(now)
+            if uop is None:
+                return
+            uop.fetch_cycle = now
+            uop.seq = self._next_seq
+            self._next_seq += 1
+            if uop.is_branch and not uop.wrong_path:
+                pred_taken, pred_target = self.branch_unit.predict(uop)
+                uop.pred_taken = pred_taken
+                uop.pred_target = pred_target
+                uop.mispredicted = (pred_taken != uop.taken) or (
+                    uop.taken and pred_target != uop.target)
+                if uop.mispredicted:
+                    self.wrong_path = True
+                    self._wrong_path_pc = (uop.pred_target if pred_taken
+                                           else uop.pc + 1)
+            self.pipe.append((now + self.depth, uop))
+            if uop.wrong_path:
+                self.fetched_wrong += 1
+            else:
+                self.fetched_correct += 1
+            if uop.is_branch and uop.pred_taken:
+                taken_seen += 1
+                if taken_seen >= 2:
+                    return
+            if uop.is_branch and uop.mispredicted:
+                # The rest of this group comes from the wrong path next cycle.
+                return
+
+    def deliver(self, now: int, max_uops: int) -> List[MicroOp]:
+        """µops whose frontend traversal completes by ``now`` (for Rename)."""
+        out: List[MicroOp] = []
+        while self.pipe and len(out) < max_uops:
+            ready, uop = self.pipe[0]
+            if ready > now:
+                break
+            self.pipe.popleft()
+            out.append(uop)
+        return out
+
+    def undeliver(self, uops: List[MicroOp], now: int) -> None:
+        """Push back µops Rename could not accept this cycle (stall)."""
+        for uop in reversed(uops):
+            self.pipe.appendleft((now, uop))
+
+    # ------------------------------------------------------------------
+
+    def redirect(self, now: int) -> None:
+        """Resolve a mispredicted branch: flush and restart fetch.
+
+        The caller (the core) squashes younger µops everywhere else; here we
+        drop everything still inside the frontend, which is by construction
+        younger than the resolving branch.
+        """
+        self.pipe.clear()
+        self.wrong_path = False
+        self._stall_until = now + REDIRECT_BUBBLE
+        self.stats.bump("fetch_redirects")
+
+    def squash_all(self, now: int) -> None:
+        """Full frontend flush (memory-order violation refetch)."""
+        self.redirect(now)
+
+    def inject_refetch(self, uops_in_program_order: List[MicroOp]) -> None:
+        """Queue squashed correct-path µops for re-fetch (violations).
+
+        New clones are older in program order than anything not yet fetched,
+        so they go to the *front* of the replay queue.
+        """
+        for uop in reversed(uops_in_program_order):
+            self.replay_queue.appendleft(uop)
+
+    @property
+    def done(self) -> bool:
+        """True when the trace is exhausted and the pipe has drained."""
+        return (self.trace_exhausted and not self.pipe
+                and not self.wrong_path and not self.replay_queue)
+
+    # ------------------------------------------------------------------
+
+    def _next(self, now: int) -> Optional[MicroOp]:
+        if self.wrong_path:
+            uop = self.trace.wrong_path_uop(0, self._wrong_path_pc)
+            uop.wrong_path = True
+            self._wrong_path_pc += 1
+            return uop
+        if self.replay_queue:
+            return self.replay_queue.popleft()
+        uop = self.trace.next_uop()
+        if uop is None:
+            self.trace_exhausted = True
+            return None
+        return uop

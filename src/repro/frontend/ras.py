@@ -1,0 +1,44 @@
+"""Return address stack — 32 entries (Table 1), circular overwrite."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class ReturnAddressStack:
+    """Fixed-depth RAS; pushes wrap around and overwrite the oldest entry."""
+
+    def __init__(self, entries: int = 32) -> None:
+        if entries < 1:
+            raise ValueError("RAS needs at least one entry")
+        self.entries = entries
+        self._stack: List[int] = [0] * entries
+        self._top = 0          # index of next push slot
+        self._depth = 0        # live entries (saturates at `entries`)
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_pc: int) -> None:
+        self._stack[self._top] = return_pc
+        self._top = (self._top + 1) % self.entries
+        self._depth = min(self._depth + 1, self.entries)
+        self.pushes += 1
+
+    def pop(self) -> int:
+        """Predicted return target; 0 on underflow."""
+        self.pops += 1
+        if self._depth == 0:
+            self.underflows += 1
+            return 0
+        self._top = (self._top - 1) % self.entries
+        self._depth -= 1
+        return self._stack[self._top]
+
+    def snapshot(self) -> Tuple[int, int, Tuple[int, ...]]:
+        """Checkpoint for squash recovery."""
+        return (self._top, self._depth, tuple(self._stack))
+
+    def restore(self, snap: Tuple[int, int, Tuple[int, ...]]) -> None:
+        self._top, self._depth, stack = snap
+        self._stack = list(stack)

@@ -1,0 +1,208 @@
+"""TAGE-lite conditional branch predictor.
+
+A faithful-in-structure, reduced-in-size TAGE (Seznec & Michaud, the
+predictor of Table 1): a bimodal base table plus ``num_tagged_tables``
+partially tagged tables indexed with geometrically increasing global
+history lengths. Each tagged entry holds a 3-bit signed counter, a partial
+tag and a useful bit. Prediction comes from the longest-history matching
+table; allocation on mispredictions picks a not-useful entry in a longer
+table.
+
+The global history is speculatively updated at prediction time;
+:meth:`snapshot_history` / :meth:`restore_history` let the pipeline repair
+it after a squash, exactly as a real frontend checkpoint would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.config import BranchPredictorConfig
+
+_CTR_MAX = 3          # 3-bit signed counter range [-4, 3]
+_CTR_MIN = -4
+_BIMODAL_MAX = 3      # 2-bit saturating
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.ctr = 0
+        self.useful = 0
+
+
+class TageLite:
+    """TAGE with geometric history lengths."""
+
+    def __init__(self, config: Optional[BranchPredictorConfig] = None,
+                 seed: int = 12345) -> None:
+        self.config = config or BranchPredictorConfig()
+        self.config.validate()
+        cfg = self.config
+        self._bimodal = [0] * cfg.bimodal_entries
+        self._tables: List[List[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(cfg.table_entries)]
+            for _ in range(cfg.num_tagged_tables)
+        ]
+        # Geometric history lengths from min to max.
+        ratio = (cfg.max_history / cfg.min_history) ** (
+            1.0 / max(1, cfg.num_tagged_tables - 1))
+        self.history_lengths = []
+        for i in range(cfg.num_tagged_tables):
+            length = int(round(cfg.min_history * ratio ** i))
+            if self.history_lengths and length <= self.history_lengths[-1]:
+                length = self.history_lengths[-1] + 1
+            self.history_lengths.append(length)
+        self._history = 0          # global history as an int bitvector
+        self._rng_state = seed or 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # -- history management ---------------------------------------------
+
+    def snapshot_history(self) -> int:
+        return self._history
+
+    def restore_history(self, snapshot: int) -> None:
+        self._history = snapshot
+
+    def _push_history(self, taken: bool) -> None:
+        mask = (1 << (self.config.max_history + 1)) - 1
+        self._history = ((self._history << 1) | int(taken)) & mask
+
+    # -- hashing ----------------------------------------------------------
+
+    def _fold(self, value: int, bits: int) -> int:
+        folded = 0
+        mask = (1 << bits) - 1
+        while value:
+            folded ^= value & mask
+            value >>= bits
+        return folded
+
+    def _index(self, pc: int, table: int) -> int:
+        bits = self.config.table_entries.bit_length() - 1
+        hist = self._history & ((1 << self.history_lengths[table]) - 1)
+        return (self._fold(hist, bits) ^ (pc >> 2) ^ (pc >> (bits + 2))
+                ^ table) & (self.config.table_entries - 1)
+
+    def _tag(self, pc: int, table: int) -> int:
+        bits = self.config.tag_bits
+        hist = self._history & ((1 << self.history_lengths[table]) - 1)
+        return (self._fold(hist, bits) ^ (pc >> 2) ^ (pc * 0x9E3779B1 >> 13)
+                ) & ((1 << bits) - 1)
+
+    def _bimodal_index(self, pc: int) -> int:
+        return (pc >> 2) & (self.config.bimodal_entries - 1)
+
+    def _rand(self) -> int:
+        # xorshift, deterministic across runs
+        x = self._rng_state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._rng_state = x
+        return x
+
+    # -- predict / update --------------------------------------------------
+
+    def predict(self, pc: int) -> Tuple[bool, dict]:
+        """Predict ``pc``; returns (taken, state-for-update).
+
+        The state captures provider/alternate components and the history
+        snapshot, and must be passed back to :meth:`update`. Global history
+        is speculatively updated with the prediction.
+        """
+        self.predictions += 1
+        provider = -1
+        provider_idx = -1
+        alt_pred = None
+        pred = None
+        for t in range(self.config.num_tagged_tables - 1, -1, -1):
+            idx = self._index(pc, t)
+            entry = self._tables[t][idx]
+            if entry.tag == self._tag(pc, t):
+                if provider == -1:
+                    provider, provider_idx = t, idx
+                    pred = entry.ctr >= 0
+                elif alt_pred is None:
+                    alt_pred = entry.ctr >= 0
+                    break
+        bimodal_pred = self._bimodal[self._bimodal_index(pc)] >= 2
+        if alt_pred is None:
+            alt_pred = bimodal_pred
+        if pred is None:
+            pred = bimodal_pred
+        state = {
+            "provider": provider,
+            "provider_idx": provider_idx,
+            "alt_pred": alt_pred,
+            "pred": pred,
+            "history": self._history,
+            "pc": pc,
+        }
+        self._push_history(pred)
+        return pred, state
+
+    def update(self, taken: bool, state: dict) -> None:
+        """Train with the actual outcome; call once per predicted branch."""
+        pc = state["pc"]
+        pred = state["pred"]
+        correct = pred == taken
+        if not correct:
+            self.mispredictions += 1
+
+        saved_history = self._history
+        self._history = state["history"]   # rebuild indices as at predict
+        try:
+            provider = state["provider"]
+            if provider >= 0:
+                entry = self._tables[provider][state["provider_idx"]]
+                entry.ctr = _saturate(entry.ctr + (1 if taken else -1))
+                if pred != state["alt_pred"]:
+                    entry.useful = min(entry.useful + 1, 3) if correct \
+                        else max(entry.useful - 1, 0)
+            else:
+                idx = self._bimodal_index(pc)
+                ctr = self._bimodal[idx]
+                self._bimodal[idx] = min(ctr + 1, _BIMODAL_MAX) if taken \
+                    else max(ctr - 1, 0)
+            if not correct:
+                self._allocate(pc, taken, provider)
+        finally:
+            if correct:
+                self._history = saved_history
+            else:
+                # Repair the speculative history: replace the mispredicted
+                # bit with the actual outcome (idempotent with the branch
+                # unit's own repair, which computes the same value).
+                self._history = state["history"]
+                self._push_history(taken)
+
+    def _allocate(self, pc: int, taken: bool, provider: int) -> None:
+        start = provider + 1
+        if start >= self.config.num_tagged_tables:
+            return
+        # Randomize the starting table a little, as real TAGE does.
+        if start + 1 < self.config.num_tagged_tables and self._rand() & 1:
+            start += 1
+        for t in range(start, self.config.num_tagged_tables):
+            idx = self._index(pc, t)
+            entry = self._tables[t][idx]
+            if entry.useful == 0:
+                entry.tag = self._tag(pc, t)
+                entry.ctr = 0 if taken else -1
+                return
+            entry.useful -= 1   # age useful bits when allocation fails
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+def _saturate(ctr: int) -> int:
+    return _CTR_MIN if ctr < _CTR_MIN else _CTR_MAX if ctr > _CTR_MAX else ctr

@@ -1,0 +1,15 @@
+"""µop model: operation classes, dynamic micro-ops, trace sources."""
+
+from repro.isa.opclass import EXEC_LATENCY, FU_KIND, FuKind, OpClass
+from repro.isa.uop import MicroOp
+from repro.isa.trace import TraceSource, ListTrace
+
+__all__ = [
+    "EXEC_LATENCY",
+    "FU_KIND",
+    "FuKind",
+    "ListTrace",
+    "MicroOp",
+    "OpClass",
+    "TraceSource",
+]

@@ -1,0 +1,80 @@
+"""Operation classes, functional-unit kinds and execution latencies.
+
+The latencies mirror Table 1: 4 ALU (1 cycle), 1 MulDiv (3/25 cycles, the
+divider is not pipelined), 2 FP (3 cycles), 2 FPMulDiv (5/10 cycles, the FP
+divider is not pipelined), 2 load ports, 1 store port. Load latency is *not*
+listed here: it is resolved dynamically by the memory hierarchy (4-cycle
+load-to-use on an L1 hit).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Dynamic µop categories produced by the workload generators."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ADD = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8     # conditional branch, executes on an ALU port
+    CALL = 9
+    RET = 10
+    NOP = 11
+
+
+class FuKind(enum.IntEnum):
+    """Functional-unit pools of Table 1."""
+
+    ALU = 0
+    MULDIV = 1
+    FP = 2
+    FPMULDIV = 3
+    LOAD_PORT = 4
+    STORE_PORT = 5
+
+
+#: OpClass -> which FU pool executes it.
+FU_KIND = {
+    OpClass.INT_ALU: FuKind.ALU,
+    OpClass.INT_MUL: FuKind.MULDIV,
+    OpClass.INT_DIV: FuKind.MULDIV,
+    OpClass.FP_ADD: FuKind.FP,
+    OpClass.FP_MUL: FuKind.FPMULDIV,
+    OpClass.FP_DIV: FuKind.FPMULDIV,
+    OpClass.LOAD: FuKind.LOAD_PORT,
+    OpClass.STORE: FuKind.STORE_PORT,
+    OpClass.BRANCH: FuKind.ALU,
+    OpClass.CALL: FuKind.ALU,
+    OpClass.RET: FuKind.ALU,
+    OpClass.NOP: FuKind.ALU,
+}
+
+#: OpClass -> execution latency in cycles (loads resolved dynamically).
+EXEC_LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 25,
+    OpClass.FP_ADD: 3,
+    OpClass.FP_MUL: 5,
+    OpClass.FP_DIV: 10,
+    OpClass.LOAD: 4,      # nominal L1 load-to-use; actual from the hierarchy
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.CALL: 1,
+    OpClass.RET: 1,
+    OpClass.NOP: 1,
+}
+
+#: µops whose FU is not pipelined (Table 1 footnote): the divider blocks
+#: its unit for the whole latency.
+UNPIPELINED = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
+
+MEMORY_OPS = frozenset({OpClass.LOAD, OpClass.STORE})
+BRANCH_OPS = frozenset({OpClass.BRANCH, OpClass.CALL, OpClass.RET})

@@ -1,0 +1,70 @@
+"""Trace sources — where the frontend gets its µops.
+
+The fetch stage consumes a :class:`TraceSource`: an infinite (or finite)
+supplier of correct-path µops plus a synthesizer for wrong-path µops fetched
+after a branch misprediction. Workload generators implement this protocol;
+:class:`ListTrace` wraps a plain list for tests and the timing-diagram
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.isa.opclass import OpClass
+from repro.isa.uop import MicroOp
+
+
+class TraceSource:
+    """Protocol for correct-path + wrong-path µop supply."""
+
+    def next_uop(self) -> Optional[MicroOp]:
+        """Return the next correct-path µop, or ``None`` when exhausted."""
+        raise NotImplementedError
+
+    def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
+        """Synthesize one wrong-path µop fetched from (bogus) ``pc``.
+
+        Trace-driven simulation cannot replay real wrong paths, so sources
+        provide plausible filler that consumes pipeline resources until the
+        mispredicted branch resolves (see DESIGN.md §6).
+        """
+        return MicroOp(seq=seq, pc=pc, opclass=OpClass.INT_ALU,
+                       srcs=[0], dst=1, wrong_path=True)
+
+
+class ListTrace(TraceSource):
+    """A finite trace backed by a list; replays indefinitely if ``loop``."""
+
+    def __init__(self, uops: Iterable[MicroOp], loop: bool = False) -> None:
+        self._uops: List[MicroOp] = list(uops)
+        self._pos = 0
+        self._loop = loop
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._uops)
+
+    def next_uop(self) -> Optional[MicroOp]:
+        if self._pos >= len(self._uops):
+            if not self._loop or not self._uops:
+                return None
+            self._pos = 0
+        template = self._uops[self._pos]
+        self._pos += 1
+        uop = template.clone_arch(self._seq)
+        self._seq += 1
+        return uop
+
+    def reset(self) -> None:
+        self._pos = 0
+        self._seq = 0
+
+
+def iterate(source: TraceSource, limit: int) -> Iterator[MicroOp]:
+    """Yield up to ``limit`` correct-path µops from ``source``."""
+    for _ in range(limit):
+        uop = source.next_uop()
+        if uop is None:
+            return
+        yield uop

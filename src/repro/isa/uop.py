@@ -1,0 +1,149 @@
+"""Dynamic micro-operation.
+
+A :class:`MicroOp` is one dynamic instance flowing through the pipeline. The
+workload generator fills in the *architectural* fields (pc, opclass,
+registers, memory address, branch outcome); the pipeline annotates the
+*microarchitectural* fields (renamed registers, ROB/LSQ slots, issue and
+execution timestamps, replay state).
+
+``__slots__`` keeps the per-µop footprint small: simulations create one
+object per dynamic µop (plus wrong-path fillers).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.opclass import BRANCH_OPS, MEMORY_OPS, OpClass
+
+
+class MicroOp:
+    """One dynamic µop."""
+
+    __slots__ = (
+        # architectural
+        "seq", "pc", "opclass", "srcs", "dst", "mem_addr", "mem_size",
+        "taken", "target", "wrong_path",
+        # branch prediction state (filled at fetch)
+        "pred_taken", "pred_target", "mispredicted", "bp_state",
+        # rename state
+        "psrcs", "pdst", "prev_pdst", "rob_idx", "lsq_idx",
+        # scheduling state
+        "in_iq", "pending", "store_dep", "issue_cycle", "exec_start",
+        "actual_latency", "promised_latency", "executed", "completed",
+        "num_issues", "spec_woken", "replay_pending", "squashed", "dead",
+        # memory outcome
+        "l1_hit", "forwarded",
+        # bookkeeping
+        "fetch_cycle", "commit_cycle", "was_critical",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        opclass: OpClass,
+        srcs: Optional[List[int]] = None,
+        dst: Optional[int] = None,
+        mem_addr: int = 0,
+        mem_size: int = 8,
+        taken: bool = False,
+        target: int = 0,
+        wrong_path: bool = False,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.opclass = opclass
+        self.srcs = srcs or []
+        self.dst = dst
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.taken = taken
+        self.target = target
+        self.wrong_path = wrong_path
+
+        self.pred_taken = False
+        self.pred_target = 0
+        self.mispredicted = False
+        self.bp_state = None
+
+        self.psrcs: List[int] = []
+        self.pdst = -1
+        self.prev_pdst = -1
+        self.rob_idx = -1
+        self.lsq_idx = -1
+
+        self.in_iq = False
+        self.pending = 0
+        self.store_dep = None
+        self.issue_cycle = -1
+        self.exec_start = -1
+        self.actual_latency = -1
+        self.promised_latency = -1
+        self.executed = False
+        self.completed = False
+        self.num_issues = 0
+        self.spec_woken = False
+        self.replay_pending = False
+        self.squashed = False
+        self.dead = False
+
+        self.l1_hit = True
+        self.forwarded = False
+
+        self.fetch_cycle = -1
+        self.commit_cycle = -1
+        self.was_critical = False
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass == OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opclass in MEMORY_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass in BRANCH_OPS
+
+    def clone_arch(self, seq: int = 0) -> "MicroOp":
+        """Fresh dynamic instance carrying only the architectural fields.
+
+        Used to re-fetch µops after a memory-order-violation squash and to
+        replicate trace templates.
+        """
+        return MicroOp(
+            seq=seq,
+            pc=self.pc,
+            opclass=self.opclass,
+            srcs=list(self.srcs),
+            dst=self.dst,
+            mem_addr=self.mem_addr,
+            mem_size=self.mem_size,
+            taken=self.taken,
+            target=self.target,
+            wrong_path=self.wrong_path,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.wrong_path:
+            flags.append("WP")
+        if self.executed:
+            flags.append("X")
+        if self.squashed:
+            flags.append("SQ")
+        if self.dead:
+            flags.append("DEAD")
+        return (
+            f"MicroOp(seq={self.seq}, pc={self.pc:#x}, "
+            f"{self.opclass.name}, srcs={self.srcs}, dst={self.dst}"
+            f"{', ' + '|'.join(flags) if flags else ''})"
+        )

@@ -1,0 +1,20 @@
+"""Memory hierarchy: banked L1D, L2 with stride prefetcher, DDR3-lite DRAM."""
+
+from repro.memory.cache import SetAssocCache
+from repro.memory.banks import BankScheduler, bank_of, set_of
+from repro.memory.mshr import MshrFile
+from repro.memory.prefetcher import StridePrefetcher
+from repro.memory.dram import DdrModel
+from repro.memory.hierarchy import LoadOutcome, MemoryHierarchy
+
+__all__ = [
+    "BankScheduler",
+    "DdrModel",
+    "LoadOutcome",
+    "MemoryHierarchy",
+    "MshrFile",
+    "SetAssocCache",
+    "StridePrefetcher",
+    "bank_of",
+    "set_of",
+]

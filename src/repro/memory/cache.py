@@ -1,0 +1,96 @@
+"""Generic set-associative cache with true-LRU replacement.
+
+Timing lives elsewhere (the hierarchy and the bank scheduler); this class
+answers the purely functional question "is this line resident, and what gets
+evicted on a fill" — which is all the scheduler-speculation study needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.config import CacheConfig
+from repro.common.mathutil import log2_int
+
+
+class SetAssocCache:
+    """Set-associative, write-allocate, true-LRU cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        config.validate()
+        self.config = config
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self._offset_bits = log2_int(config.line_bytes)
+        self._index_mask = self.num_sets - 1
+        # Per set: tag -> LRU stamp. Small dicts; max len == associativity.
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._stamp = 0
+        self.accesses = 0
+        self.misses = 0
+
+    # -- address helpers -------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._offset_bits
+
+    def set_index(self, addr: int) -> int:
+        return self.line_addr(addr) & self._index_mask
+
+    def tag_of(self, addr: int) -> int:
+        return self.line_addr(addr) >> log2_int(self.num_sets) if self.num_sets > 1 \
+            else self.line_addr(addr)
+
+    # -- operations -------------------------------------------------------
+
+    def lookup(self, addr: int, update_lru: bool = True) -> bool:
+        """Access the cache; returns hit/miss and updates LRU on a hit.
+
+        Does *not* allocate on a miss — callers decide fill timing.
+        """
+        self.accesses += 1
+        cache_set = self._sets[self.set_index(addr)]
+        tag = self.tag_of(addr)
+        if tag in cache_set:
+            if update_lru:
+                self._stamp += 1
+                cache_set[tag] = self._stamp
+            return True
+        self.misses += 1
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Hit/miss check with no statistics and no LRU update."""
+        return self.tag_of(addr) in self._sets[self.set_index(addr)]
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Insert the line holding ``addr``; returns the evicted line
+        address (or ``None`` if no eviction was needed / already present)."""
+        cache_set = self._sets[self.set_index(addr)]
+        tag = self.tag_of(addr)
+        self._stamp += 1
+        if tag in cache_set:
+            cache_set[tag] = self._stamp
+            return None
+        victim_line = None
+        if len(cache_set) >= self.assoc:
+            victim_tag = min(cache_set, key=cache_set.get)
+            del cache_set[victim_tag]
+            set_idx = self.set_index(addr)
+            victim_line = (victim_tag << log2_int(self.num_sets)) | set_idx \
+                if self.num_sets > 1 else victim_tag
+        cache_set[tag] = self._stamp
+        return victim_line
+
+    def invalidate(self, addr: int) -> bool:
+        """Remove the line holding ``addr``; True if it was present."""
+        cache_set = self._sets[self.set_index(addr)]
+        return cache_set.pop(self.tag_of(addr), None) is not None
+
+    def resident_lines(self) -> int:
+        """Total lines currently valid (for tests / occupancy checks)."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,75 @@
+"""Degree-8 stride prefetcher attached to the L2 (Table 1).
+
+Classic PC-indexed stride detection: each table entry remembers the last
+address and stride for one load PC with a 2-bit confidence. Once confident,
+an access triggers ``degree`` prefetches of successive lines, which fill the
+L2. Usefulness is tracked (a later demand access that hits a prefetched
+line counts as useful) for EXPERIMENTS.md and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+
+class StridePrefetcher:
+    """PC-indexed stride prefetcher, degree ``degree``."""
+
+    CONF_MAX = 3
+    CONF_THRESHOLD = 2
+
+    def __init__(self, degree: int = 8, table_entries: int = 256,
+                 line_bytes: int = 64) -> None:
+        self.degree = degree
+        self.table_entries = table_entries
+        self.line_bytes = line_bytes
+        # pc-index -> (last_addr, stride, confidence)
+        self._table: Dict[int, Tuple[int, int, int]] = {}
+        self._prefetched_lines: Set[int] = set()
+        self.issued = 0
+        self.useful = 0
+
+    def _index(self, pc: int) -> int:
+        return pc % self.table_entries
+
+    def train_and_prefetch(self, pc: int, addr: int) -> List[int]:
+        """Observe a demand access; return line addresses to prefetch."""
+        idx = self._index(pc)
+        entry = self._table.get(idx)
+        prefetches: List[int] = []
+        if entry is None:
+            self._table[idx] = (addr, 0, 0)
+            return prefetches
+        last_addr, stride, conf = entry
+        new_stride = addr - last_addr
+        if new_stride == stride and stride != 0:
+            conf = min(conf + 1, self.CONF_MAX)
+        else:
+            conf = max(conf - 1, 0)
+            stride = new_stride
+        self._table[idx] = (addr, stride, conf)
+        if conf >= self.CONF_THRESHOLD and stride != 0:
+            seen: Set[int] = set()
+            for k in range(1, self.degree + 1):
+                line = (addr + k * stride) // self.line_bytes
+                if line not in seen:
+                    seen.add(line)
+                    prefetches.append(line)
+            self.issued += len(prefetches)
+        return prefetches
+
+    def mark_prefetched(self, line: int) -> None:
+        self._prefetched_lines.add(line)
+        if len(self._prefetched_lines) > 1 << 16:
+            # Bound memory: forget ancient prefetches.
+            self._prefetched_lines.clear()
+
+    def note_demand_hit(self, line: int) -> None:
+        """Called when a demand access hits; credits prefetching."""
+        if line in self._prefetched_lines:
+            self._prefetched_lines.discard(line)
+            self.useful += 1
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0

@@ -1,0 +1,6 @@
+"""Pipeline: the cycle-level out-of-order core and run helpers."""
+
+from repro.pipeline.cpu import Simulator
+from repro.pipeline.sim import RunResult, run_config, run_workload
+
+__all__ = ["RunResult", "Simulator", "run_config", "run_workload"]

@@ -1,0 +1,533 @@
+"""The cycle-level out-of-order core.
+
+One :class:`Simulator` instance models the machine of Table 1 executing one
+trace under one configuration. Stages run back-to-front each cycle so that
+same-cycle producer->consumer flows resolve naturally::
+
+    commit -> complete -> execute (replay detection first) -> wakeup
+           -> issue -> rename/dispatch -> fetch
+
+Timing contract (Section 4.1 / Figure 1, with D = issue-to-execute delay):
+
+* a µop issued at ``X`` starts executing at ``X + D + 1``;
+* a producer with (promised) latency ``L`` wakes consumers at ``X + L`` so
+  they execute back-to-back;
+* a speculatively woken load resolving with actual latency ``alat > L``
+  schedules a replay detection at ``C = X + D + load_to_use - 1`` (hit/miss
+  known one cycle before data); the controller squashes every unexecuted
+  µop issued in ``[C-D, C-1]`` and issue is blocked during ``C``;
+* a conservatively scheduled load wakes consumers at ``X + alat + D``
+  (dependents pay the issue-to-execute delay on top of load-to-use —
+  the Figure 3 effect).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.backend.fu import FuPool
+from repro.backend.iq import IssueQueue
+from repro.backend.lsq import LoadStoreQueue
+from repro.backend.prf import Scoreboard
+from repro.backend.recovery import RecoveryBuffer
+from repro.backend.replay import ReplayController, ReplayEvent
+from repro.backend.rob import ReorderBuffer
+from repro.backend.storesets import StoreSets
+from repro.common.config import SimConfig
+from repro.common.stats import CAUSE_BANK_CONFLICT, CAUSE_L1_MISS, SimStats
+from repro.core.composed import build_policy
+from repro.frontend.branch_unit import BranchUnit
+from repro.frontend.fetch import FetchStage
+from repro.isa.opclass import EXEC_LATENCY, OpClass
+from repro.isa.trace import TraceSource
+from repro.isa.uop import MicroOp
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.rename.rename import RegisterRenamer
+
+
+class SimulationError(RuntimeError):
+    """Raised when a model invariant is violated (bug trap, not recovery)."""
+
+
+class Simulator:
+    """One machine configuration executing one trace."""
+
+    #: Cycles without a commit before we declare the model wedged.
+    DEADLOCK_LIMIT = 100_000
+
+    def __init__(self, config: SimConfig, trace: TraceSource,
+                 stats: Optional[SimStats] = None) -> None:
+        config.validate()
+        self.config = config
+        self.trace = trace
+        self.stats = stats if stats is not None else SimStats()
+        core = config.core
+        self.delay = core.issue_to_execute_delay
+        self.load_to_use = config.memory.l1d.latency
+        self.now = 0
+
+        self.hierarchy = MemoryHierarchy(config.memory, self.stats)
+        self.branch_unit = BranchUnit(config.branch)
+        self.fetch = FetchStage(trace, self.branch_unit, core, self.stats)
+        self.renamer = RegisterRenamer(core)
+        self.scoreboard = Scoreboard(core.int_prf + core.fp_prf,
+                                     on_ready=self._route_ready)
+        self.rob = ReorderBuffer(core.rob_entries)
+        self.iq = IssueQueue(core.iq_entries)
+        self.lsq = LoadStoreQueue(core.lq_entries, core.sq_entries,
+                                  on_ready=self._route_ready)
+        self.fus = FuPool(core)
+        self.recovery = RecoveryBuffer()
+        self.replay = ReplayController(self.delay)
+        self.store_sets = StoreSets(core.store_set_ssid_entries,
+                                    core.store_set_lfst_entries)
+        self.policy = build_policy(config.sched, self.load_to_use, self.stats)
+
+        # cycle -> [(uop, issue_id)]
+        self._exec_queue: Dict[int, List[Tuple[MicroOp, int]]] = {}
+        self._completion_queue: Dict[int, List[Tuple[MicroOp, int]]] = {}
+        self._l1_miss_this_cycle = False
+        self._l1_access_this_cycle = False
+        self._issue_block_cycle = -1
+        self._last_commit_cycle = 0
+
+    # ==================================================================
+    # driving
+    # ==================================================================
+
+    @property
+    def done(self) -> bool:
+        return self.fetch.done and self.rob.empty
+
+    def run(self, max_uops: Optional[int] = None,
+            max_cycles: Optional[int] = None) -> SimStats:
+        """Simulate until done / ``max_uops`` committed / ``max_cycles``."""
+        while not self.done:
+            if max_uops is not None and self.stats.committed_uops >= max_uops:
+                break
+            if max_cycles is not None and self.stats.cycles >= max_cycles:
+                break
+            self.step()
+        return self.stats
+
+    def run_with_warmup(self, warmup_uops: int, measure_uops: int,
+                        max_cycles: Optional[int] = None) -> SimStats:
+        """Warm structures, then measure: returns warmed-region deltas."""
+        self.run(max_uops=warmup_uops, max_cycles=max_cycles)
+        baseline = self.stats.copy()
+        self.run(max_uops=warmup_uops + measure_uops, max_cycles=max_cycles)
+        return self.stats.delta_since(baseline)
+
+    def functional_warmup(self, trace: TraceSource, uops: int) -> None:
+        """Stream a trace through the caches and branch predictor without
+        timing — the paper's 50M-instruction warmup phase (Section 3.2),
+        affordable here because no pipeline state is simulated.
+
+        Call before :meth:`run` with a *separate* trace instance built from
+        the same seed; the timed run then replays the same stream over warm
+        structures.
+        """
+        l1d, l2 = self.hierarchy.l1d, self.hierarchy.l2
+        prefetcher = self.hierarchy.prefetcher
+        line_bytes = self.config.memory.l2.line_bytes
+        for _ in range(uops):
+            uop = trace.next_uop()
+            if uop is None:
+                return
+            if uop.is_mem:
+                l1d.fill(uop.mem_addr)
+                if not l2.probe(uop.mem_addr):
+                    for line in prefetcher.train_and_prefetch(
+                            uop.pc, uop.mem_addr):
+                        l2.fill(line * line_bytes)
+                l2.fill(uop.mem_addr)
+            elif uop.is_branch:
+                uop.pred_taken, uop.pred_target = self.branch_unit.predict(uop)
+                self.branch_unit.resolve(uop)
+
+    def step(self) -> None:
+        now = self.now
+        self._l1_miss_this_cycle = False
+        self._l1_access_this_cycle = False
+        self.fus.new_cycle()
+        self._commit(now)
+        self._complete(now)
+        self._execute(now)
+        self.scoreboard.tick(now)
+        self._issue(now)
+        self._rename_dispatch(now)
+        self.fetch.tick(now)
+        self.policy.on_cycle(self._l1_miss_this_cycle,
+                             self._l1_access_this_cycle)
+        self.replay.prune(now)
+        self.stats.cycles += 1
+        self.now = now + 1
+        if now - self._last_commit_cycle > self.DEADLOCK_LIMIT:
+            raise SimulationError(
+                f"no commit for {self.DEADLOCK_LIMIT} cycles at cycle {now}; "
+                f"ROB={len(self.rob)}, IQ={len(self.iq)}, "
+                f"recovery={len(self.recovery)}")
+
+    # ==================================================================
+    # commit & complete
+    # ==================================================================
+
+    def _commit(self, now: int) -> None:
+        retired = 0
+        while retired < self.config.core.retire_width:
+            head = self.rob.head()
+            if head is None or not head.completed:
+                break
+            if head.wrong_path:
+                raise SimulationError(
+                    f"wrong-path µop reached ROB head: {head!r}")
+            self.rob.retire_head()
+            self.renamer.commit(head)
+            if head.is_mem:
+                self.lsq.release(head)
+            head.commit_cycle = now
+            self.stats.committed_uops += 1
+            self._last_commit_cycle = now
+            if head.is_load:
+                self.policy.on_load_commit(head)
+            self.policy.on_uop_commit(head)
+            retired += 1
+
+    def _complete(self, now: int) -> None:
+        entries = self._completion_queue.pop(now, None)
+        if not entries:
+            return
+        for uop, issue_id in entries:
+            if uop.dead or uop.num_issues != issue_id or not uop.executed:
+                continue
+            self.rob.note_completed(uop)
+
+    def _schedule_completion(self, uop: MicroOp, cycle: int, now: int) -> None:
+        if cycle <= now:
+            self.rob.note_completed(uop)
+        else:
+            self._completion_queue.setdefault(cycle, []).append(
+                (uop, uop.num_issues))
+
+    # ==================================================================
+    # execute
+    # ==================================================================
+
+    def _execute(self, now: int) -> None:
+        if self.replay.has_event(now):
+            self._handle_replay(now)
+        entries = self._exec_queue.pop(now, None)
+        if not entries:
+            return
+        for uop, issue_id in entries:
+            if uop.dead or uop.squashed or uop.num_issues != issue_id:
+                continue
+            self._execute_uop(uop, now)
+
+    def _execute_uop(self, uop: MicroOp, now: int) -> None:
+        if not self.scoreboard.operands_data_valid(uop, now):
+            raise SimulationError(
+                f"µop executed with invalid operands at cycle {now}: {uop!r}")
+        uop.executed = True
+        if uop.is_load:
+            self._execute_load(uop, now)
+        elif uop.is_store:
+            self._execute_store(uop, now)
+        elif uop.is_branch:
+            self._execute_branch(uop, now)
+        else:
+            latency = EXEC_LATENCY[uop.opclass]
+            self._schedule_completion(uop, now + latency - 1, now)
+        if uop.is_mem:
+            self.iq.release(uop)
+        else:
+            self.recovery.remove(uop)
+
+    def _execute_load(self, uop: MicroOp, now: int) -> None:
+        forwarding_store = self.lsq.forwarding_store(uop)
+        if forwarding_store is not None:
+            uop.forwarded = True
+            uop.l1_hit = True
+            alat = self.load_to_use
+            self.stats.store_forwards += 1
+        else:
+            outcome = self.hierarchy.load(uop.mem_addr, uop.pc, now)
+            alat = outcome.latency
+            uop.l1_hit = outcome.hit
+            self._l1_access_this_cycle = True
+            if not outcome.hit:
+                self._l1_miss_this_cycle = True
+        uop.actual_latency = alat
+        issue = uop.issue_cycle
+        if uop.spec_woken:
+            if alat > uop.promised_latency:
+                cause = CAUSE_L1_MISS if not uop.l1_hit else CAUSE_BANK_CONFLICT
+                # The checker fires when the *promise* comes due (one cycle
+                # before the data was supposed to return). A shifted second
+                # load therefore detects one cycle later than its pair —
+                # which is why two same-cycle loads that both miss trigger
+                # two squash events under Schedule Shifting (Section 5.1,
+                # drawback 3).
+                detection = issue + self.delay + uop.promised_latency - 1
+                self.replay.schedule(
+                    ReplayEvent(uop, cause, alat), max(detection, now + 1))
+        elif uop.pdst >= 0:
+            # Conservative: dependents cannot issue before the hit/miss
+            # outcome is known (one cycle before data return, Section 1),
+            # which costs hits the whole issue-to-execute delay (Figure 3).
+            # Misses resolve with the refill timing already known, so their
+            # dependents issue at the corrected data-arrival point.
+            wake = max(issue + alat, issue + self.delay + self.load_to_use)
+            self.scoreboard.broadcast(
+                uop.pdst, wake, issue + self.delay + 1 + alat)
+        self._schedule_completion(uop, uop.exec_start + alat - 1, now)
+
+    def _execute_store(self, uop: MicroOp, now: int) -> None:
+        offender = self.lsq.detect_violation(uop)
+        self.hierarchy.store(uop.mem_addr, uop.pc, now)
+        self.store_sets.store_done(uop)
+        self.lsq.store_executed_wakeups(uop)
+        self._schedule_completion(uop, now, now)
+        if offender is not None and not uop.wrong_path \
+                and not offender.wrong_path:
+            self.stats.memory_order_violations += 1
+            self.store_sets.train_violation(uop.pc, offender.pc)
+            self._violation_squash(offender, now)
+
+    def _execute_branch(self, uop: MicroOp, now: int) -> None:
+        self._schedule_completion(uop, now, now)
+        if uop.wrong_path:
+            return      # wrong-path branches never redirect anything
+        self.stats.branches += 1
+        mispredicted = self.branch_unit.resolve(uop)
+        if mispredicted:
+            self.stats.branch_mispredicts += 1
+            self._branch_squash(uop, now)
+
+    # ==================================================================
+    # replay (the Alpha-style squash of Section 3.1)
+    # ==================================================================
+
+    def _handle_replay(self, now: int) -> None:
+        events = [ev for ev in self.replay.pop_events(now)
+                  if not ev.load.dead]
+        if not events:
+            return
+        cause = events[0].cause            # oldest trigger attributes the event
+        doomed = self.replay.squashable_uops(now)
+        for uop in doomed:
+            uop.squashed = True
+            uop.replay_pending = True
+            if uop.pdst >= 0:
+                self.scoreboard.unready(uop.pdst)
+        # Correct the triggering loads' destinations.
+        for event in events:
+            load = event.load
+            if load.pdst >= 0:
+                issue = load.issue_cycle
+                wake = max(issue + event.corrected_latency, now + 1)
+                self.scoreboard.broadcast(
+                    load.pdst, wake,
+                    issue + self.delay + 1 + event.corrected_latency)
+        self._rearm_waiting_uops()
+        if doomed or self.delay > 0:
+            # Handling the misspeculation blocks issue for a cycle even
+            # when every in-flight µop was already squashed by an earlier
+            # event this window — the checker still fires (this is how two
+            # same-cycle missing loads cost two replays under Schedule
+            # Shifting). With D=0 the window is definitionally empty and
+            # no handling happens: SpecSched_0 stays cycle-identical to
+            # Baseline_0.
+            self.stats.record_replayed(cause, len(doomed))
+            self._issue_block_cycle = now   # "an additional issue cycle is lost"
+
+    def _rearm_waiting_uops(self) -> None:
+        """Recompute readiness for every µop still waiting to (re-)issue.
+
+        After a squash, previously fired wakeups may be stale (their
+        producer got squashed or corrected); rebuilding the ready lists
+        from scoreboard truth is simple and safe — the populations are
+        bounded by the IQ and the in-flight window.
+        """
+        waiting: List[MicroOp] = [
+            u for u in self.iq.occupants()
+            if not u.executed and (u.num_issues == 0 or u.replay_pending)
+        ]
+        waiting.extend(u for u in self.recovery.members() if u.replay_pending)
+        self.iq.ready.clear()
+        self.recovery.ready.clear()
+        for uop in waiting:
+            self.scoreboard.drop_waiter(uop)
+            self.scoreboard.watch(uop)
+            if uop.store_dep is not None and not uop.store_dep.executed:
+                uop.pending += 1    # still registered in the LSQ waiter list
+            if uop.pending == 0:
+                self._route_ready(uop)
+
+    # ==================================================================
+    # issue
+    # ==================================================================
+
+    def _route_ready(self, uop: MicroOp) -> None:
+        """Scoreboard/LSQ callback: a µop became source-complete."""
+        if uop.dead or uop.executed:
+            return
+        if uop.num_issues > 0 and not uop.replay_pending:
+            return      # already in flight; nothing to wake
+        if uop.in_iq:
+            self.iq.make_ready(uop)
+        elif uop.replay_pending:
+            self.recovery.make_ready(uop)
+
+    def _issue(self, now: int) -> None:
+        if self._issue_block_cycle == now:
+            self.stats.issue_cycles_lost += 1
+            return
+        budget = self.config.core.issue_width
+        # Recovery buffer has priority over the scheduler; the IQ fills
+        # the holes in replayed issue groups (Section 3.1).
+        budget = self._issue_from(self.recovery.take_ready(), budget, now)
+        if budget > 0:
+            self._issue_from(self.iq.take_ready(), budget, now)
+
+    def _issue_from(self, candidates: List[MicroOp], budget: int,
+                    now: int) -> int:
+        for uop in list(candidates):
+            if budget == 0:
+                break
+            if uop.dead or uop.executed:
+                continue
+            if uop.num_issues > 0 and not uop.replay_pending:
+                continue
+            loads_before = self.fus.loads_issued_this_cycle()
+            if not self.fus.try_allocate(uop.opclass, now):
+                continue
+            self._do_issue(uop, now, loads_before)
+            budget -= 1
+        return budget
+
+    def _do_issue(self, uop: MicroOp, now: int, loads_before: int) -> None:
+        first_issue = uop.num_issues == 0
+        was_replay = uop.replay_pending
+        uop.issue_cycle = now
+        uop.num_issues += 1
+        uop.squashed = False
+        uop.replay_pending = False
+        uop.exec_start = now + self.delay + 1
+        self._exec_queue.setdefault(uop.exec_start, []).append(
+            (uop, uop.num_issues))
+        self.replay.note_issue(uop, now)
+
+        stats = self.stats
+        stats.issued_total += 1
+        if first_issue:
+            stats.unique_issued += 1
+        else:
+            self.recovery.replays_issued += 1
+        if uop.wrong_path:
+            stats.wrong_path_issued += 1
+
+        # Wakeup broadcast.
+        if uop.is_load:
+            decision = self.policy.decide(uop, loads_before)
+            uop.spec_woken = decision.speculate
+            uop.promised_latency = decision.promised_latency
+            if decision.speculate:
+                stats.speculative_loads += 1
+                if uop.pdst >= 0:
+                    self.scoreboard.broadcast(
+                        uop.pdst, now + decision.promised_latency,
+                        now + decision.promised_latency + self.delay + 1)
+            else:
+                stats.conservative_loads += 1
+                if uop.pdst >= 0:
+                    self.scoreboard.unready(uop.pdst)
+        else:
+            latency = EXEC_LATENCY[uop.opclass]
+            uop.spec_woken = True
+            uop.promised_latency = latency
+            if uop.pdst >= 0:
+                self.scoreboard.broadcast(
+                    uop.pdst, now + latency, now + latency + self.delay + 1)
+
+        # Structure management.
+        if uop.is_mem:
+            self.iq.remove_from_ready(uop)   # keeps its IQ entry
+        elif uop.in_iq:
+            self.iq.release(uop)             # first issue: move to recovery
+            self.recovery.insert(uop)
+        elif was_replay:
+            self.recovery.remove_from_ready(uop)
+
+    # ==================================================================
+    # rename & dispatch
+    # ==================================================================
+
+    def _rename_dispatch(self, now: int) -> None:
+        width = self.config.core.rename_width
+        uops = self.fetch.deliver(now, width)
+        for i, uop in enumerate(uops):
+            if (self.rob.full or self.iq.full
+                    or not self.renamer.can_rename(uop)
+                    or (uop.is_load and self.lsq.lq_full())
+                    or (uop.is_store and self.lsq.sq_full())):
+                self.fetch.undeliver(uops[i:], now)
+                return
+            self.renamer.rename(uop)
+            if uop.pdst >= 0:
+                self.scoreboard.unready(uop.pdst)
+            self.rob.allocate(uop)
+            self.iq.insert(uop)
+            self.scoreboard.watch(uop)
+            if uop.is_mem:
+                self.lsq.insert(uop)
+                dep = self.store_sets.lookup_dependence(uop)
+                if dep is not None:
+                    self.lsq.add_store_dependence(uop, dep)
+            if uop.pending == 0:
+                self.iq.make_ready(uop)
+
+    # ==================================================================
+    # squashes (branch misprediction, memory-order violation)
+    # ==================================================================
+
+    def _branch_squash(self, branch: MicroOp, now: int) -> None:
+        doomed = self.rob.squash_younger(branch.seq)   # youngest first
+        self._kill_uops(doomed)
+        self.renamer.rollback(doomed)
+        self.fetch.redirect(now)
+
+    def _violation_squash(self, offender: MicroOp, now: int) -> None:
+        doomed = self.rob.squash_younger(offender.seq, inclusive=True)
+        self._kill_uops(doomed)
+        self.renamer.rollback(doomed)
+        refetch = [u.clone_arch() for u in reversed(doomed)
+                   if not u.wrong_path]
+        self.fetch.redirect(now)
+        self.fetch.inject_refetch(refetch)
+
+    def _kill_uops(self, doomed: List[MicroOp]) -> None:
+        if not doomed:
+            return
+        oldest = min(u.seq for u in doomed)
+        for uop in doomed:
+            uop.dead = True
+            self.scoreboard.drop_waiter(uop)
+            if uop.is_store:
+                self.store_sets.store_done(uop)
+        self.iq.squash_younger(oldest - 1)
+        self.recovery.squash_younger(oldest - 1)
+        self.lsq.squash_younger(oldest - 1)
+
+    # ==================================================================
+    # introspection helpers (tests, examples)
+    # ==================================================================
+
+    def occupancy(self) -> Dict[str, int]:
+        return {
+            "rob": len(self.rob),
+            "iq": len(self.iq),
+            "recovery": len(self.recovery),
+            "lq": len(self.lsq.loads),
+            "sq": len(self.lsq.stores),
+        }

@@ -1,0 +1,76 @@
+"""Convenience runners: one workload under one configuration.
+
+The experiment harness and the examples go through these entry points, so
+defaults (warmup/measure µop counts) are centralized here. Counts are small
+relative to the paper's 50M+100M because the synthetic workloads are
+stationary (DESIGN.md §2); override them for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.common.config import SimConfig
+from repro.common.stats import SimStats
+from repro.core.presets import make_config
+from repro.pipeline.cpu import Simulator
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suite import get_workload
+
+DEFAULT_WARMUP_UOPS = 3_000
+DEFAULT_MEASURE_UOPS = 20_000
+#: Functional (timing-free) cache/predictor warmup before the timed run —
+#: the analogue of the paper's 50M-instruction warmup phase.
+DEFAULT_FUNCTIONAL_WARMUP_UOPS = 60_000
+#: Generous safety net; runs normally end on the µop budget long before.
+DEFAULT_MAX_CYCLES = 3_000_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (workload, configuration) simulation."""
+
+    workload: str
+    config_name: str
+    stats: SimStats
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def run_workload(
+    workload: Union[str, WorkloadSpec],
+    config: Union[str, SimConfig],
+    warmup_uops: int = DEFAULT_WARMUP_UOPS,
+    measure_uops: int = DEFAULT_MEASURE_UOPS,
+    seed: Optional[int] = None,
+    banked: bool = True,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    functional_warmup_uops: int = DEFAULT_FUNCTIONAL_WARMUP_UOPS,
+) -> RunResult:
+    """Run ``workload`` under ``config`` and return measured-region stats.
+
+    ``config`` may be a preset name ("SpecSched_4_Crit") or a full
+    :class:`SimConfig`; ``banked`` only applies when a name is given.
+    """
+    spec = get_workload(workload) if isinstance(workload, str) else workload
+    if isinstance(config, str):
+        config = make_config(config, banked=banked)
+    trace = spec.build_trace(seed)
+    sim = Simulator(config, trace)
+    if functional_warmup_uops:
+        sim.functional_warmup(spec.build_trace(seed), functional_warmup_uops)
+    stats = sim.run_with_warmup(warmup_uops, measure_uops,
+                                max_cycles=max_cycles)
+    return RunResult(workload=spec.name, config_name=config.name, stats=stats)
+
+
+def run_config(
+    config: Union[str, SimConfig],
+    workloads,
+    **kwargs,
+) -> dict:
+    """Run several workloads under one configuration; name -> RunResult."""
+    return {name: run_workload(name, config, **kwargs) for name in workloads}

@@ -1,0 +1,13 @@
+"""Register renaming: RAT, free lists, squash rollback."""
+
+from repro.rename.freelist import FreeList
+from repro.rename.rat import RegisterAliasTable
+from repro.rename.rename import NUM_ARCH_REGS, FP_REG_BASE, RegisterRenamer
+
+__all__ = [
+    "FP_REG_BASE",
+    "FreeList",
+    "NUM_ARCH_REGS",
+    "RegisterAliasTable",
+    "RegisterRenamer",
+]

@@ -1,0 +1,36 @@
+"""Register alias table."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class RegisterAliasTable:
+    """Architectural -> physical register map with explicit undo support.
+
+    Rollback is driven by the ROB walk: every renamed µop remembers
+    ``(dst, prev_pdst)``; squashing restores mappings youngest-first.
+    """
+
+    def __init__(self, num_arch_regs: int) -> None:
+        self.num_arch_regs = num_arch_regs
+        self._map: List[int] = [-1] * num_arch_regs
+
+    def lookup(self, arch: int) -> int:
+        preg = self._map[arch]
+        if preg < 0:
+            raise KeyError(f"architectural register {arch} never mapped")
+        return preg
+
+    def set(self, arch: int, preg: int) -> int:
+        """Map ``arch`` to ``preg``; returns the previous mapping."""
+        prev = self._map[arch]
+        self._map[arch] = preg
+        return prev
+
+    def restore(self, arch: int, prev_preg: int) -> None:
+        """Undo one rename during a squash walk."""
+        self._map[arch] = prev_preg
+
+    def snapshot(self) -> List[int]:
+        return list(self._map)

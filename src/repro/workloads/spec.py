@@ -1,0 +1,131 @@
+"""Workload specification and the trace source built from it.
+
+A :class:`WorkloadSpec` is a declarative mix of kernels (with weights and
+parameters); :meth:`WorkloadSpec.build_trace` instantiates the kernels with
+disjoint PC regions, register windows and address regions and returns a
+:class:`WorkloadTrace` the fetch stage can consume. Everything is seeded
+and deterministic: the same spec + seed yields the same µop stream.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.isa.opclass import OpClass
+from repro.isa.trace import TraceSource
+from repro.isa.uop import MicroOp
+from repro.workloads.kernels import (
+    BankConflictKernel,
+    BranchKernel,
+    ComputeKernel,
+    Kernel,
+    PointerChaseKernel,
+    RandomLoadKernel,
+    StoreLoadKernel,
+    StreamKernel,
+)
+
+#: kind name -> kernel class
+KERNEL_KINDS = {
+    "stream": StreamKernel,
+    "chase": PointerChaseKernel,
+    "random": RandomLoadKernel,
+    "compute": ComputeKernel,
+    "bank": BankConflictKernel,
+    "branch": BranchKernel,
+    "storeload": StoreLoadKernel,
+}
+
+#: Architectural registers 0/1 are reserved for wrong-path filler µops.
+_FIRST_KERNEL_REG = 2
+_MAX_KERNELS = 4
+_PC_REGION = 4096
+_ADDR_REGION = 1 << 26      # 64 MB per kernel: address spaces never overlap
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel in a workload mix."""
+
+    kind: str
+    weight: float = 1.0
+    fp: bool = False
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.kind not in KERNEL_KINDS:
+            raise ValueError(f"unknown kernel kind {self.kind!r}")
+        if self.weight <= 0:
+            raise ValueError("kernel weight must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named synthetic benchmark (one Table-2 row analogue)."""
+
+    name: str
+    kernels: tuple
+    seed: int = 1
+    description: str = ""
+    is_fp: bool = False        # Table 2's INT/FP tag
+
+    def validate(self) -> None:
+        if not self.kernels:
+            raise ValueError(f"workload {self.name!r} has no kernels")
+        if len(self.kernels) > _MAX_KERNELS:
+            raise ValueError(
+                f"workload {self.name!r}: at most {_MAX_KERNELS} kernels "
+                f"(register windows)")
+        for kspec in self.kernels:
+            kspec.validate()
+
+    def build_trace(self, seed: Optional[int] = None) -> "WorkloadTrace":
+        self.validate()
+        return WorkloadTrace(self, self.seed if seed is None else seed)
+
+
+class WorkloadTrace(TraceSource):
+    """Weighted block interleaving of a spec's kernels."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int) -> None:
+        self.spec = spec
+        self.rng = random.Random(seed)
+        self._wp_rng = random.Random(seed ^ 0x5DEECE66D)
+        self.kernels: List[Kernel] = []
+        self.weights: List[float] = []
+        for i, kspec in enumerate(spec.kernels):
+            cls = KERNEL_KINDS[kspec.kind]
+            kernel = cls(
+                f"{spec.name}/{kspec.kind}{i}",
+                pc_base=(i + 1) * _PC_REGION,
+                reg_base=_FIRST_KERNEL_REG + i * Kernel.REG_WINDOW,
+                addr_base=(i + 1) * _ADDR_REGION,
+                rng=random.Random(seed * 7919 + i),
+                fp=kspec.fp,
+                **kspec.params,
+            )
+            self.kernels.append(kernel)
+            self.weights.append(kspec.weight)
+        self._buffer: Deque[MicroOp] = deque()
+        self.emitted = 0
+
+    # -- TraceSource -------------------------------------------------------
+
+    def next_uop(self) -> Optional[MicroOp]:
+        if not self._buffer:
+            kernel = self.rng.choices(self.kernels, weights=self.weights)[0]
+            self._buffer.extend(kernel.next_block())
+        uop = self._buffer.popleft()
+        self.emitted += 1
+        return uop
+
+    def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
+        """ALU-only wrong-path filler over the reserved registers."""
+        variant = self._wp_rng.randrange(3)
+        src = 0 if variant != 2 else 1
+        dst = 1 if variant != 1 else 0
+        return MicroOp(seq=seq, pc=pc, opclass=OpClass.INT_ALU,
+                       srcs=[src], dst=dst, wrong_path=True)

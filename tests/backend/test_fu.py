@@ -1,0 +1,88 @@
+from repro.common.config import CoreConfig
+from repro.backend.fu import FuPool
+from repro.isa.opclass import OpClass
+
+
+def make():
+    return FuPool(CoreConfig())
+
+
+def test_alu_count():
+    fus = make()
+    fus.new_cycle()
+    grants = [fus.try_allocate(OpClass.INT_ALU, 0) for _ in range(5)]
+    assert grants == [True] * 4 + [False]
+
+
+def test_load_ports():
+    fus = make()
+    fus.new_cycle()
+    assert fus.try_allocate(OpClass.LOAD, 0)
+    assert fus.loads_issued_this_cycle() == 1
+    assert fus.try_allocate(OpClass.LOAD, 0)
+    assert not fus.try_allocate(OpClass.LOAD, 0)
+    assert fus.loads_issued_this_cycle() == 2
+
+
+def test_store_port_single():
+    fus = make()
+    fus.new_cycle()
+    assert fus.try_allocate(OpClass.STORE, 0)
+    assert not fus.try_allocate(OpClass.STORE, 0)
+
+
+def test_new_cycle_resets_ports():
+    fus = make()
+    fus.new_cycle()
+    for _ in range(4):
+        fus.try_allocate(OpClass.INT_ALU, 0)
+    fus.new_cycle()
+    assert fus.try_allocate(OpClass.INT_ALU, 1)
+
+
+def test_branches_share_alu_ports():
+    fus = make()
+    fus.new_cycle()
+    for _ in range(4):
+        assert fus.try_allocate(OpClass.BRANCH, 0)
+    assert not fus.try_allocate(OpClass.INT_ALU, 0)
+
+
+def test_unpipelined_divider_blocks():
+    fus = make()
+    fus.new_cycle()
+    assert fus.try_allocate(OpClass.INT_DIV, 0)
+    fus.new_cycle()
+    # Divider busy for 25 cycles: next div rejected even next cycle.
+    assert not fus.try_allocate(OpClass.INT_DIV, 1)
+    fus.new_cycle()
+    assert fus.try_allocate(OpClass.INT_DIV, 25)
+
+
+def test_pipelined_mul_not_blocked():
+    fus = make()
+    fus.new_cycle()
+    assert fus.try_allocate(OpClass.INT_MUL, 0)
+    fus.new_cycle()
+    assert fus.try_allocate(OpClass.INT_MUL, 1)
+
+
+def test_fp_divider_separate_units():
+    fus = make()
+    fus.new_cycle()
+    # Two FPMulDiv units: two divs same cycle OK, third rejected.
+    assert fus.try_allocate(OpClass.FP_DIV, 0)
+    assert fus.try_allocate(OpClass.FP_DIV, 0)
+    assert not fus.try_allocate(OpClass.FP_DIV, 0)
+    fus.new_cycle()
+    assert not fus.try_allocate(OpClass.FP_DIV, 1)
+    fus.new_cycle()
+    assert fus.try_allocate(OpClass.FP_DIV, 10)
+
+
+def test_grant_rejection_counters():
+    fus = make()
+    fus.new_cycle()
+    fus.try_allocate(OpClass.STORE, 0)
+    fus.try_allocate(OpClass.STORE, 0)
+    assert fus.grants == 1 and fus.rejections == 1

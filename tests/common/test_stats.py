@@ -1,0 +1,92 @@
+import pytest
+
+from repro.common.stats import CAUSE_BANK_CONFLICT, CAUSE_L1_MISS, SimStats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        s = SimStats()
+        s.cycles = 100
+        s.committed_uops = 250
+        assert s.ipc == pytest.approx(2.5)
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_miss_rate(self):
+        s = SimStats()
+        s.l1d_accesses = 200
+        s.l1d_misses = 46
+        assert s.l1d_miss_rate == pytest.approx(0.23)
+
+    def test_replayed_total(self):
+        s = SimStats()
+        s.replayed_miss = 7
+        s.replayed_bank = 5
+        assert s.replayed_total == 12
+
+    def test_branch_mpki(self):
+        s = SimStats()
+        s.committed_uops = 10_000
+        s.branch_mispredicts = 50
+        assert s.branch_mpki == pytest.approx(5.0)
+
+
+class TestReplayAccounting:
+    def test_miss_cause(self):
+        s = SimStats()
+        s.record_replayed(CAUSE_L1_MISS, 10)
+        assert s.replayed_miss == 10
+        assert s.squash_events_miss == 1
+        assert s.replayed_bank == 0
+
+    def test_bank_cause(self):
+        s = SimStats()
+        s.record_replayed(CAUSE_BANK_CONFLICT, 4)
+        assert s.replayed_bank == 4
+        assert s.squash_events_bank == 1
+
+    def test_unknown_cause_rejected(self):
+        with pytest.raises(ValueError):
+            SimStats().record_replayed("cosmic_ray", 1)
+
+
+class TestDeltaAndCopy:
+    def test_delta_since(self):
+        a = SimStats()
+        a.cycles = 100
+        a.committed_uops = 150
+        a.bump("x", 3)
+        b = a.copy()
+        b.cycles = 300
+        b.committed_uops = 550
+        b.bump("x", 4)
+        d = b.delta_since(a)
+        assert d.cycles == 200
+        assert d.committed_uops == 400
+        assert d.ipc == pytest.approx(2.0)
+        assert d.extra["x"] == 4
+
+    def test_copy_is_independent(self):
+        a = SimStats()
+        a.cycles = 5
+        b = a.copy()
+        b.cycles = 9
+        b.bump("y")
+        assert a.cycles == 5
+        assert "y" not in a.extra
+
+    def test_snapshot_contains_derived(self):
+        s = SimStats()
+        s.cycles = 10
+        s.committed_uops = 20
+        snap = s.snapshot()
+        assert snap["ipc"] == pytest.approx(2.0)
+        assert snap["cycles"] == 10
+        assert "replayed_total" in snap
+
+    def test_bump_accumulates(self):
+        s = SimStats()
+        s.bump("k")
+        s.bump("k", 2)
+        assert s.extra["k"] == 3

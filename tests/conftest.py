@@ -1,0 +1,72 @@
+"""Shared test fixtures and µop/trace builders."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import pytest
+
+from repro.common.config import HitMissPolicy, SimConfig
+from repro.isa.opclass import OpClass
+from repro.isa.trace import ListTrace
+from repro.isa.uop import MicroOp
+from repro.pipeline.cpu import Simulator
+
+# Architectural registers guaranteed ready at reset (initial mappings).
+ADDR_REG = 2      # never written in hand traces: loads' address source
+ACC_REG = 3
+
+
+def uop(opclass: OpClass, pc: int = 0x100, srcs: Optional[List[int]] = None,
+        dst: Optional[int] = None, addr: int = 0, taken: bool = False,
+        target: int = 0) -> MicroOp:
+    """Hand-trace µop template (seq assigned by fetch)."""
+    return MicroOp(seq=0, pc=pc, opclass=opclass, srcs=srcs or [],
+                   dst=dst, mem_addr=addr, taken=taken, target=target)
+
+
+def load(addr: int, dst: int, pc: int = 0x100) -> MicroOp:
+    return uop(OpClass.LOAD, pc=pc, srcs=[ADDR_REG], dst=dst, addr=addr)
+
+
+def store(addr: int, data_reg: int = ACC_REG, pc: int = 0x180) -> MicroOp:
+    return uop(OpClass.STORE, pc=pc, srcs=[ADDR_REG, data_reg], addr=addr)
+
+
+def alu(srcs: List[int], dst: int, pc: int = 0x200) -> MicroOp:
+    return uop(OpClass.INT_ALU, pc=pc, srcs=srcs, dst=dst)
+
+
+def spec_config(delay: int = 4, banked: bool = False,
+                speculative: bool = True,
+                hit_miss: str = HitMissPolicy.ALWAYS_HIT,
+                shifting: bool = False, criticality: bool = False,
+                **core_overrides) -> SimConfig:
+    """Small-knob configuration builder for timing tests."""
+    config = SimConfig(name="test")
+    config = config.with_core(issue_to_execute_delay=delay, **core_overrides)
+    config = config.with_l1d(banked=banked)
+    config = config.with_sched(speculative=speculative, hit_miss=hit_miss,
+                               schedule_shifting=shifting,
+                               criticality=criticality)
+    return config.validate()
+
+
+def build_sim(uops: List[MicroOp], config: Optional[SimConfig] = None,
+              prefill_lines: Optional[List[int]] = None) -> Simulator:
+    """Simulator over a finite hand trace; optionally pre-warm L1 lines."""
+    sim = Simulator(config or spec_config(), ListTrace(uops))
+    for line_addr in prefill_lines or []:
+        sim.hierarchy.l1d.fill(line_addr)
+        sim.hierarchy.l2.fill(line_addr)
+    return sim
+
+
+def run_to_completion(sim: Simulator, max_cycles: int = 20_000) -> None:
+    sim.run(max_cycles=max_cycles)
+    assert sim.done, "hand trace did not drain"
+
+
+@pytest.fixture
+def default_config() -> SimConfig:
+    return spec_config()

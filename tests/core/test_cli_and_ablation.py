@@ -1,0 +1,59 @@
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.hm_filter import FilterPrediction, HitMissFilter
+
+
+class TestSilenceBitAblation:
+    def test_plain_counters_never_defer(self):
+        f = HitMissFilter(entries=16, use_silence_bit=False)
+        for i in range(10):
+            f.train(0x10, hit=(i % 2 == 0))
+            assert f.predict(0x10) in (FilterPrediction.SURE_HIT,
+                                       FilterPrediction.SURE_MISS)
+
+    def test_plain_counters_msb_decides(self):
+        f = HitMissFilter(entries=16, use_silence_bit=False)
+        f.train(0x10, hit=True)     # init 2 -> 3
+        assert f.predict(0x10) is FilterPrediction.SURE_HIT
+        for _ in range(3):
+            f.train(0x10, hit=False)
+        assert f.predict(0x10) is FilterPrediction.SURE_MISS
+
+    def test_plain_counters_keep_training(self):
+        """Without silence bits, counters always move with outcomes."""
+        f = HitMissFilter(entries=16, use_silence_bit=False)
+        f.train(0x10, hit=False)
+        f.train(0x10, hit=False)    # saturated low
+        f.train(0x10, hit=True)     # would silence in the paper's scheme
+        f.train(0x10, hit=True)
+        f.train(0x10, hit=True)
+        assert f.predict(0x10) is FilterPrediction.SURE_HIT
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for argv in (["table1"], ["table2"], ["figure", "5"], ["list"],
+                     ["run", "gzip", "SpecSched_4"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quake3", "SpecSched_4"])
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "192-entry ROB" in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "xalancbmk" in out and "SpecSched_4_Crit" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "gzip", "SpecSched_4", "--measure", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "replayed_miss" in out

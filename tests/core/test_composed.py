@@ -1,0 +1,136 @@
+import pytest
+
+from repro.common.config import HitMissPolicy, SchedPolicyConfig
+from repro.core.composed import ComposedPolicy, build_policy
+from repro.core.policy import AlwaysHitPolicy, ConservativePolicy
+from repro.isa.opclass import OpClass
+from repro.isa.uop import MicroOp
+
+PLAT = 4
+
+
+def load(pc=0x10):
+    return MicroOp(0, pc, OpClass.LOAD, srcs=[1], dst=2, mem_addr=0x100)
+
+
+def committed_load(pc, hit):
+    u = load(pc)
+    u.l1_hit = hit
+    return u
+
+
+def make(**kw):
+    return ComposedPolicy(SchedPolicyConfig(**kw), PLAT)
+
+
+class TestFactory:
+    def test_baseline_is_conservative(self):
+        p = build_policy(SchedPolicyConfig(speculative=False), PLAT)
+        assert isinstance(p, ConservativePolicy)
+        assert not p.decide(load(), 0).speculate
+
+    def test_plain_always_hit(self):
+        p = build_policy(SchedPolicyConfig(), PLAT)
+        assert isinstance(p, AlwaysHitPolicy)
+        d = p.decide(load(), 0)
+        assert d.speculate and d.promised_latency == PLAT
+
+    def test_any_mechanism_composes(self):
+        p = build_policy(SchedPolicyConfig(schedule_shifting=True), PLAT)
+        assert isinstance(p, ComposedPolicy)
+
+    def test_criticality_without_filter_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedPolicy(SchedPolicyConfig(
+                hit_miss=HitMissPolicy.GLOBAL_CTR, criticality=True), PLAT)
+
+
+class TestShiftingComposition:
+    def test_second_load_promise(self):
+        p = make(schedule_shifting=True)
+        assert p.decide(load(), 0).promised_latency == PLAT
+        assert p.decide(load(), 1).promised_latency == PLAT + 1
+
+    def test_no_shift_when_disabled(self):
+        p = make(hit_miss=HitMissPolicy.GLOBAL_CTR)
+        assert p.decide(load(), 1).promised_latency == PLAT
+
+
+class TestGlobalCtrGating:
+    def test_miss_cycles_stall_speculation(self):
+        p = make(hit_miss=HitMissPolicy.GLOBAL_CTR)
+        assert p.decide(load(), 0).speculate
+        for _ in range(4):
+            p.on_cycle(l1_miss_this_cycle=True)
+        assert not p.decide(load(), 0).speculate
+        for _ in range(8):
+            p.on_cycle(l1_miss_this_cycle=False)
+        assert p.decide(load(), 0).speculate
+
+    def test_always_hit_ignores_counter(self):
+        p = make(schedule_shifting=True)     # hit_miss stays ALWAYS_HIT
+        for _ in range(10):
+            p.on_cycle(True)
+        assert p.decide(load(), 0).speculate
+
+
+class TestFilterGating:
+    def test_sure_hit_overrides_counter(self):
+        p = make(hit_miss=HitMissPolicy.FILTER_CTR)
+        p.on_load_commit(committed_load(0x10, hit=True))
+        for _ in range(10):
+            p.on_cycle(True)                  # counter says stall
+        assert p.decide(load(0x10), 0).speculate
+        assert p.stats.filter_sure_hit == 1
+
+    def test_sure_miss_stalls_despite_counter(self):
+        p = make(hit_miss=HitMissPolicy.FILTER_CTR)
+        for _ in range(2):
+            p.on_load_commit(committed_load(0x10, hit=False))
+        assert not p.decide(load(0x10), 0).speculate
+        assert p.stats.filter_sure_miss == 1
+
+    def test_deferred_uses_counter(self):
+        p = make(hit_miss=HitMissPolicy.FILTER_CTR)
+        assert p.decide(load(0x50), 0).speculate      # fresh: defer + ctr hi
+        for _ in range(4):
+            p.on_cycle(True)
+        assert not p.decide(load(0x50), 0).speculate
+        assert p.stats.filter_deferred == 2
+
+
+class TestCriticalityGating:
+    def _crit_policy(self):
+        return make(hit_miss=HitMissPolicy.FILTER_CTR, criticality=True,
+                    schedule_shifting=True)
+
+    def test_noncritical_unsure_load_stalls(self):
+        p = self._crit_policy()
+        u = committed_load(0x30, hit=True)
+        u.was_critical = False
+        # Keep the filter unsure for 0x30 by alternating outcomes.
+        for i in range(8):
+            c = committed_load(0x30, hit=(i % 2 == 0))
+            c.was_critical = False
+            p.on_load_commit(c)
+            p.on_uop_commit(c)
+        assert not p.decide(load(0x30), 0).speculate
+        assert p.stats.crit_predicted_noncritical >= 1
+
+    def test_critical_unsure_load_uses_counter(self):
+        p = self._crit_policy()
+        for i in range(8):
+            c = committed_load(0x30, hit=(i % 2 == 0))
+            c.was_critical = True
+            p.on_load_commit(c)
+            p.on_uop_commit(c)
+        assert p.decide(load(0x30), 0).speculate      # counter still high
+
+    def test_sure_hit_bypasses_criticality(self):
+        p = self._crit_policy()
+        for _ in range(3):
+            c = committed_load(0x40, hit=True)
+            c.was_critical = False
+            p.on_load_commit(c)
+            p.on_uop_commit(c)
+        assert p.decide(load(0x40), 0).speculate

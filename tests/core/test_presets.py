@@ -1,0 +1,78 @@
+import pytest
+
+from repro.common.config import HitMissPolicy
+from repro.core.presets import PRESET_NAMES, make_config
+
+
+class TestBaselinePresets:
+    @pytest.mark.parametrize("delay", [0, 2, 4, 6])
+    def test_baseline(self, delay):
+        cfg = make_config(f"Baseline_{delay}")
+        assert cfg.delay == delay
+        assert not cfg.sched.speculative
+        assert cfg.name == f"Baseline_{delay}"
+
+    def test_baseline_rejects_suffix(self):
+        with pytest.raises(ValueError):
+            make_config("Baseline_4_Crit")
+
+
+class TestSpecSchedPresets:
+    def test_plain(self):
+        cfg = make_config("SpecSched_4")
+        assert cfg.sched.speculative
+        assert cfg.sched.hit_miss == HitMissPolicy.ALWAYS_HIT
+        assert not cfg.sched.schedule_shifting
+        assert not cfg.sched.criticality
+
+    def test_shift(self):
+        cfg = make_config("SpecSched_4_Shift")
+        assert cfg.sched.schedule_shifting
+        assert cfg.sched.hit_miss == HitMissPolicy.ALWAYS_HIT
+
+    def test_ctr(self):
+        cfg = make_config("SpecSched_4_Ctr")
+        assert cfg.sched.hit_miss == HitMissPolicy.GLOBAL_CTR
+        assert not cfg.sched.schedule_shifting
+
+    def test_filter(self):
+        cfg = make_config("SpecSched_4_Filter")
+        assert cfg.sched.hit_miss == HitMissPolicy.FILTER_CTR
+
+    def test_combined(self):
+        cfg = make_config("SpecSched_4_Combined")
+        assert cfg.sched.hit_miss == HitMissPolicy.FILTER_CTR
+        assert cfg.sched.schedule_shifting
+        assert not cfg.sched.criticality
+
+    def test_crit_builds_on_combined(self):
+        cfg = make_config("SpecSched_4_Crit")
+        assert cfg.sched.hit_miss == HitMissPolicy.FILTER_CTR
+        assert cfg.sched.schedule_shifting
+        assert cfg.sched.criticality
+
+    @pytest.mark.parametrize("delay", [2, 6])
+    def test_variants_at_other_delays(self, delay):
+        cfg = make_config(f"SpecSched_{delay}_Crit")
+        assert cfg.delay == delay and cfg.sched.criticality
+
+
+class TestOptions:
+    def test_banked_default(self):
+        assert make_config("SpecSched_4").memory.l1d.banked
+
+    def test_dual_ported(self):
+        assert not make_config("SpecSched_4", banked=False).memory.l1d.banked
+
+    def test_load_ports(self):
+        cfg = make_config("Baseline_0", load_ports=1)
+        assert cfg.core.num_load_ports == 1
+
+    def test_all_preset_names_buildable(self):
+        for name in PRESET_NAMES:
+            make_config(name).validate()
+
+    def test_unknown_name_rejected(self):
+        for bad in ("Foo_4", "SpecSched", "SpecSched_4_Turbo", ""):
+            with pytest.raises(ValueError):
+                make_config(bad)

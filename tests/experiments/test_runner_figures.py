@@ -1,0 +1,142 @@
+"""Experiment harness tests (tiny simulation volumes)."""
+
+import pytest
+
+from repro.experiments.figures import BASELINE, fig5, headline
+from repro.experiments.report import (
+    breakdown_table,
+    format_table,
+    performance_table,
+    summary_line,
+)
+from repro.experiments.runner import (
+    ConfigRequest,
+    Settings,
+    _CACHE,
+    run_experiment,
+)
+from repro.experiments.tables import render_table1, render_table2, table2
+
+TINY = Settings(workloads=("gzip", "swim"), warmup_uops=500,
+                measure_uops=1500, functional_warmup_uops=5000)
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5(TINY)
+
+
+class TestRunner:
+    def test_grid_populated(self, fig5_result):
+        assert set(fig5_result.labels()) == {
+            "Baseline_0", "SpecSched_4", "SpecSched_4_Shift"}
+        for label in fig5_result.labels():
+            for wl in ("gzip", "swim"):
+                assert fig5_result.get(label, wl).cycles > 0
+
+    def test_baseline_ratio_is_unity(self, fig5_result):
+        ratios = fig5_result.ipc_ratio("Baseline_0")
+        assert all(r == pytest.approx(1.0) for r in ratios.values())
+
+    def test_gmean_in_plausible_band(self, fig5_result):
+        g = fig5_result.gmean_ipc_ratio("SpecSched_4")
+        assert 0.3 < g <= 1.3
+
+    def test_breakdown_fields(self, fig5_result):
+        b = fig5_result.breakdown("SpecSched_4")
+        for wl in ("gzip", "swim"):
+            row = b[wl]
+            assert set(row) == {"unique", "rpld_miss", "rpld_bank", "total"}
+            assert row["total"] >= row["unique"] > 0
+
+    def test_replay_reduction_kinds(self, fig5_result):
+        for kind in ("total", "miss", "bank"):
+            red = fig5_result.replay_reduction(
+                "SpecSched_4_Shift", "SpecSched_4", kind)
+            assert -2.0 <= red <= 1.0
+
+    def test_cache_hit_on_second_run(self):
+        before = len(_CACHE)
+        fig5(TINY)
+        assert len(_CACHE) == before     # everything memoized
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("x", [BASELINE, BASELINE], BASELINE.label, TINY)
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("x", [BASELINE], "nope", TINY)
+
+
+class TestSettings:
+    def test_from_env_subset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "subset")
+        s = Settings.from_env()
+        assert len(s.workloads) >= 10
+
+    def test_from_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "full")
+        assert len(Settings.from_env().workloads) == 36
+
+    def test_from_env_explicit_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "gzip, mcf")
+        assert Settings.from_env().workloads == ("gzip", "mcf")
+
+    def test_from_env_typo_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "gzipp")
+        with pytest.raises(KeyError):
+            Settings.from_env()
+
+    def test_volume_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WARMUP", "123")
+        monkeypatch.setenv("REPRO_MEASURE", "456")
+        s = Settings.from_env()
+        assert s.warmup_uops == 123 and s.measure_uops == 456
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [["xx", "1"], ["y", "22"]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1    # rectangular
+
+    def test_performance_table_has_gmean_row(self, fig5_result):
+        text = performance_table(fig5_result)
+        assert "gmean" in text and "SpecSched_4_Shift" in text
+
+    def test_breakdown_table_columns(self, fig5_result):
+        text = breakdown_table(fig5_result, "SpecSched_4")
+        assert "RpldMiss" in text and "RpldBank" in text and "Unique" in text
+
+    def test_summary_line(self, fig5_result):
+        line = summary_line(fig5_result, "SpecSched_4_Shift", "SpecSched_4")
+        assert "speedup" in line and "bank" in line
+
+
+class TestTables:
+    def test_table1_mentions_key_structures(self):
+        text = render_table1()
+        assert "192-entry ROB" in text
+        assert "60-entry IQ" in text
+        assert "32KB" in text
+        assert "75" in text           # DRAM min latency
+
+    def test_table2_runs(self):
+        data = table2(TINY)
+        assert set(data) == {"gzip", "swim"}
+        assert data["swim"]["fp"] is True
+        assert data["gzip"]["ipc"] > 0
+
+    def test_render_table2(self):
+        text = render_table2(TINY)
+        assert "gzip" in text and "swim" in text and "IPC" in text
+
+
+class TestHeadline:
+    def test_headline_numbers_well_formed(self):
+        numbers = headline(TINY)
+        rows = numbers.rows()
+        assert len(rows) == 7
+        assert numbers.total_replay_reduction <= 1.0
+        assert -1.0 < numbers.speedup_over_specsched < 1.0

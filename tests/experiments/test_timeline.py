@@ -1,0 +1,35 @@
+from repro.experiments.timeline import TracingSimulator, render_timeline
+from repro.isa.trace import ListTrace
+
+from tests.conftest import alu, load, run_to_completion, spec_config
+
+
+def test_render_back_to_back_chain():
+    sim = TracingSimulator(spec_config(delay=4),
+                           ListTrace([alu([2], 4), alu([4], 5)]))
+    run_to_completion(sim)
+    art = render_timeline(sim, labels={0: "add r4", 1: "add r5"})
+    lines = art.splitlines()
+    assert lines[1].startswith("add r4")
+    assert "I" in art and "E" in art
+
+
+def test_replayed_attempt_marked():
+    sim = TracingSimulator(spec_config(delay=4),
+                           ListTrace([load(0x1000, dst=4), alu([4], 5)]))
+    sim.hierarchy.l2.fill(0x1000)       # L1 miss -> replay
+    run_to_completion(sim)
+    art = render_timeline(sim)
+    assert "x" in art                   # squashed issue attempt visible
+
+
+def test_no_events_handled():
+    sim = TracingSimulator(spec_config(), ListTrace([]))
+    assert "no issue events" in render_timeline(sim)
+
+
+def test_issue_log_has_every_uop():
+    sim = TracingSimulator(spec_config(delay=2),
+                           ListTrace([alu([2], 4), alu([2], 5), alu([4], 6)]))
+    run_to_completion(sim)
+    assert set(sim.issue_log) == {0, 1, 2}

@@ -1,0 +1,120 @@
+from repro.common.config import CoreConfig
+from repro.common.stats import SimStats
+from repro.frontend.branch_unit import BranchUnit
+from repro.frontend.fetch import FetchStage
+from repro.isa.opclass import OpClass
+from repro.isa.trace import ListTrace
+from repro.isa.uop import MicroOp
+
+
+def alu(pc):
+    return MicroOp(0, pc, OpClass.INT_ALU, srcs=[1], dst=2)
+
+
+def make_fetch(uops, delay=4):
+    core = CoreConfig(issue_to_execute_delay=delay)
+    return FetchStage(ListTrace(uops), BranchUnit(), core, SimStats())
+
+
+def test_fetch_width_limit():
+    f = make_fetch([alu(i) for i in range(20)])
+    f.tick(0)
+    assert len(f.pipe) == 8     # fetch_width
+
+
+def test_frontend_depth_delays_delivery():
+    f = make_fetch([alu(i) for i in range(4)], delay=4)   # depth 11
+    f.tick(0)
+    assert f.deliver(10, 8) == []
+    out = f.deliver(11, 8)
+    assert len(out) == 4
+
+
+def test_delivery_respects_width():
+    f = make_fetch([alu(i) for i in range(8)])
+    f.tick(0)
+    out = f.deliver(100, 3)
+    assert len(out) == 3
+    assert len(f.deliver(100, 8)) == 5
+
+
+def test_seq_assignment_monotonic():
+    f = make_fetch([alu(i) for i in range(12)])
+    f.tick(0)
+    f.tick(1)
+    seqs = [u.seq for _, u in f.pipe]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+def test_undeliver_preserves_order():
+    f = make_fetch([alu(i) for i in range(6)])
+    f.tick(0)
+    out = f.deliver(50, 6)
+    f.undeliver(out[2:], 50)
+    again = f.deliver(50, 6)
+    assert [u.pc for u in again] == [2, 3, 4, 5]
+
+
+def test_wrong_path_mode_on_mispredict():
+    # A branch that is taken: cold predictor predicts not-taken (BTB miss),
+    # so fetch must switch to wrong-path synthesis.
+    br = MicroOp(0, 0x10, OpClass.BRANCH, srcs=[1], taken=True, target=0x40)
+    f = make_fetch([alu(0), br, alu(0x11), alu(0x12)])
+    f.tick(0)
+    assert f.wrong_path
+    f.tick(1)
+    wrong = [u for _, u in f.pipe if u.wrong_path]
+    assert wrong, "wrong-path µops should be injected after the mispredict"
+
+
+def test_redirect_clears_and_stalls():
+    br = MicroOp(0, 0x10, OpClass.BRANCH, srcs=[1], taken=True, target=0x40)
+    f = make_fetch([alu(0), br, alu(0x11)])
+    f.tick(0)
+    f.tick(1)
+    f.redirect(5)
+    assert not f.pipe and not f.wrong_path
+    f.tick(5)
+    assert not f.pipe            # redirect bubble
+    f.tick(5 + 2)
+    assert f.pipe                # fetch resumed on the correct path
+    assert all(not u.wrong_path for _, u in f.pipe)
+
+
+def test_trace_exhaustion_and_done():
+    f = make_fetch([alu(0)])
+    f.tick(0)
+    f.tick(1)
+    assert f.trace_exhausted
+    assert not f.done            # µop still in the pipe
+    f.deliver(100, 8)
+    assert f.done
+
+
+def test_refetch_queue_served_before_trace():
+    f = make_fetch([alu(5), alu(6)])
+    clones = [alu(1), alu(2)]
+    f.inject_refetch(clones)
+    f.tick(0)
+    pcs = [u.pc for _, u in f.pipe]
+    assert pcs[:2] == [1, 2]
+    assert pcs[2:] == [5, 6]
+
+
+def test_group_stops_after_second_taken_branch():
+    def taken_br(pc):
+        return MicroOp(0, pc, OpClass.BRANCH, srcs=[1], taken=True,
+                       target=pc + 0x100)
+    bu = BranchUnit()
+    # Pre-train the BTB/TAGE so both branches predict taken correctly.
+    for pc in (0x10, 0x20):
+        for _ in range(50):
+            u = taken_br(pc)
+            u.pred_taken, u.pred_target = bu.predict(u)
+            bu.resolve(u)
+    trace = ListTrace([taken_br(0x10), alu(0x11), taken_br(0x20),
+                       alu(0x21), alu(0x22)])
+    f = FetchStage(trace, bu, CoreConfig(), SimStats())
+    f.tick(0)
+    # Group must end with the second predicted-taken branch.
+    assert len(f.pipe) <= 3

@@ -1,0 +1,83 @@
+"""Small-scale checks of the paper's qualitative results (the benchmarks
+verify them at scale; these keep the shapes under plain `pytest tests/`).
+"""
+
+import pytest
+
+from repro.pipeline.sim import run_workload
+
+SMALL = dict(warmup_uops=1000, measure_uops=4000, functional_warmup_uops=30000)
+
+
+@pytest.fixture(scope="module")
+def xalanc_runs():
+    return {
+        name: run_workload("xalancbmk", name, banked=True, **SMALL)
+        for name in ("Baseline_4", "SpecSched_4", "SpecSched_4_Crit")
+    }
+
+
+class TestXalancStory:
+    """The paper's motivating workload: high IPC x high miss rate."""
+
+    def test_always_hit_loses_to_conservative(self, xalanc_runs):
+        # Section 4.3: xalancbmk is the one workload where replays make
+        # Always-Hit speculation a net loss.
+        assert xalanc_runs["SpecSched_4"].ipc < \
+            xalanc_runs["Baseline_4"].ipc
+
+    def test_crit_recovers(self, xalanc_runs):
+        assert xalanc_runs["SpecSched_4_Crit"].ipc > \
+            xalanc_runs["SpecSched_4"].ipc
+
+    def test_crit_removes_most_replays(self, xalanc_runs):
+        assert xalanc_runs["SpecSched_4_Crit"].stats.replayed_total < \
+            0.2 * xalanc_runs["SpecSched_4"].stats.replayed_total
+
+
+class TestGzipStory:
+    """Pointer-chasing INT code: the Figure-3 effect and its recovery."""
+
+    def test_conservative_scheduling_costs(self):
+        fast = run_workload("gzip", "Baseline_0", banked=False, **SMALL)
+        slow = run_workload("gzip", "Baseline_4", banked=False, **SMALL)
+        assert slow.ipc < fast.ipc * 0.92
+
+    def test_speculation_recovers_most(self):
+        conservative = run_workload("gzip", "Baseline_4", banked=False,
+                                    **SMALL)
+        speculative = run_workload("gzip", "SpecSched_4", banked=False,
+                                   **SMALL)
+        assert speculative.ipc > conservative.ipc * 1.05
+
+
+class TestLibquantumStory:
+    """Always-missing streamer: filtering removes nearly all replays."""
+
+    def test_filter_eliminates_replays(self):
+        base = run_workload("libquantum", "SpecSched_4", banked=True, **SMALL)
+        filt = run_workload("libquantum", "SpecSched_4_Filter",
+                            banked=True, **SMALL)
+        assert base.stats.replayed_miss > 1000
+        assert filt.stats.replayed_miss < 0.05 * base.stats.replayed_miss
+
+    def test_performance_unharmed(self):
+        base = run_workload("libquantum", "SpecSched_4", banked=True, **SMALL)
+        filt = run_workload("libquantum", "SpecSched_4_Filter",
+                            banked=True, **SMALL)
+        assert filt.ipc > base.ipc * 0.95
+
+
+class TestSwimStory:
+    """Bank-conflict-heavy FP streams: shifting recovers the banking loss."""
+
+    def test_shifting_recovers_banking_loss(self):
+        dual = run_workload("swim", "SpecSched_4", banked=False, **SMALL)
+        banked = run_workload("swim", "SpecSched_4", banked=True, **SMALL)
+        shifted = run_workload("swim", "SpecSched_4_Shift", banked=True,
+                               **SMALL)
+        assert banked.ipc < dual.ipc            # banking costs
+        assert shifted.ipc > banked.ipc         # shifting recovers
+        gap = dual.ipc - banked.ipc
+        recovered = shifted.ipc - banked.ipc
+        assert recovered > 0.5 * gap            # paper: 2.8 of 4.7 points

@@ -1,0 +1,44 @@
+from repro.isa.opclass import (
+    BRANCH_OPS,
+    EXEC_LATENCY,
+    FU_KIND,
+    MEMORY_OPS,
+    UNPIPELINED,
+    FuKind,
+    OpClass,
+)
+
+
+def test_every_opclass_has_fu_and_latency():
+    for oc in OpClass:
+        assert oc in FU_KIND
+        assert oc in EXEC_LATENCY
+        assert EXEC_LATENCY[oc] >= 1
+
+
+def test_table1_latencies():
+    assert EXEC_LATENCY[OpClass.INT_ALU] == 1
+    assert EXEC_LATENCY[OpClass.INT_MUL] == 3
+    assert EXEC_LATENCY[OpClass.INT_DIV] == 25
+    assert EXEC_LATENCY[OpClass.FP_ADD] == 3
+    assert EXEC_LATENCY[OpClass.FP_MUL] == 5
+    assert EXEC_LATENCY[OpClass.FP_DIV] == 10
+
+
+def test_fu_mapping():
+    assert FU_KIND[OpClass.LOAD] == FuKind.LOAD_PORT
+    assert FU_KIND[OpClass.STORE] == FuKind.STORE_PORT
+    assert FU_KIND[OpClass.INT_DIV] == FuKind.MULDIV
+    assert FU_KIND[OpClass.FP_DIV] == FuKind.FPMULDIV
+    assert FU_KIND[OpClass.BRANCH] == FuKind.ALU
+
+
+def test_dividers_unpipelined():
+    assert OpClass.INT_DIV in UNPIPELINED
+    assert OpClass.FP_DIV in UNPIPELINED
+    assert OpClass.INT_MUL not in UNPIPELINED
+
+
+def test_class_sets():
+    assert MEMORY_OPS == {OpClass.LOAD, OpClass.STORE}
+    assert BRANCH_OPS == {OpClass.BRANCH, OpClass.CALL, OpClass.RET}

@@ -1,0 +1,65 @@
+from repro.isa.opclass import OpClass
+from repro.isa.trace import ListTrace, TraceSource, iterate
+from repro.isa.uop import MicroOp
+
+
+def _uops(n):
+    return [MicroOp(0, 0x100 + i, OpClass.INT_ALU, srcs=[1], dst=2)
+            for i in range(n)]
+
+
+def test_finite_trace_exhausts():
+    t = ListTrace(_uops(3))
+    got = [t.next_uop() for _ in range(4)]
+    assert got[3] is None
+    assert [u.pc for u in got[:3]] == [0x100, 0x101, 0x102]
+
+
+def test_trace_assigns_monotone_seq():
+    t = ListTrace(_uops(5))
+    seqs = [t.next_uop().seq for _ in range(5)]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 5
+
+
+def test_trace_clones_templates():
+    templates = _uops(1)
+    t = ListTrace(templates, loop=True)
+    a = t.next_uop()
+    b = t.next_uop()
+    assert a is not b and a is not templates[0]
+    a.executed = True
+    assert not b.executed
+
+
+def test_loop_trace_repeats():
+    t = ListTrace(_uops(2), loop=True)
+    pcs = [t.next_uop().pc for _ in range(6)]
+    assert pcs == [0x100, 0x101] * 3
+
+
+def test_reset():
+    t = ListTrace(_uops(2))
+    t.next_uop()
+    t.next_uop()
+    assert t.next_uop() is None
+    t.reset()
+    assert t.next_uop().pc == 0x100
+
+
+def test_iterate_limit():
+    t = ListTrace(_uops(10))
+    assert len(list(iterate(t, 4))) == 4
+
+
+def test_iterate_stops_at_exhaustion():
+    t = ListTrace(_uops(2))
+    assert len(list(iterate(t, 10))) == 2
+
+
+def test_default_wrong_path_uop_is_alu():
+    t = TraceSource()
+    wp = t.wrong_path_uop(3, 0xDEAD)
+    assert wp.wrong_path
+    assert wp.opclass == OpClass.INT_ALU
+    assert wp.pc == 0xDEAD

@@ -1,0 +1,62 @@
+from repro.isa.opclass import OpClass
+from repro.isa.uop import MicroOp
+
+
+def test_classification_load():
+    u = MicroOp(0, 0x10, OpClass.LOAD, srcs=[1], dst=2, mem_addr=0x100)
+    assert u.is_load and u.is_mem
+    assert not u.is_store and not u.is_branch
+
+
+def test_classification_store():
+    u = MicroOp(0, 0x10, OpClass.STORE, srcs=[1, 2], mem_addr=0x100)
+    assert u.is_store and u.is_mem and not u.is_load
+
+
+def test_classification_branches():
+    for oc in (OpClass.BRANCH, OpClass.CALL, OpClass.RET):
+        assert MicroOp(0, 0, oc).is_branch
+
+
+def test_classification_alu():
+    u = MicroOp(0, 0, OpClass.INT_ALU, srcs=[3], dst=4)
+    assert not (u.is_load or u.is_store or u.is_mem or u.is_branch)
+
+
+def test_initial_dynamic_state():
+    u = MicroOp(5, 0x20, OpClass.INT_ALU, srcs=[1], dst=2)
+    assert u.num_issues == 0
+    assert u.issue_cycle == -1
+    assert not u.executed and not u.completed
+    assert not u.squashed and not u.dead and not u.replay_pending
+    assert u.pending == 0 and u.store_dep is None
+
+
+def test_clone_arch_resets_dynamic_state():
+    u = MicroOp(5, 0x20, OpClass.LOAD, srcs=[1], dst=2, mem_addr=0xAB0,
+                taken=True, target=0x40)
+    u.num_issues = 3
+    u.executed = True
+    u.pdst = 77
+    c = u.clone_arch(seq=9)
+    assert c.seq == 9
+    assert c.pc == u.pc and c.opclass == u.opclass
+    assert c.srcs == u.srcs and c.srcs is not u.srcs
+    assert c.mem_addr == 0xAB0 and c.taken and c.target == 0x40
+    assert c.num_issues == 0 and not c.executed and c.pdst == -1
+
+
+def test_slots_reject_unknown_attrs():
+    u = MicroOp(0, 0, OpClass.NOP)
+    try:
+        u.bogus_field = 1
+        assert False, "MicroOp should use __slots__"
+    except AttributeError:
+        pass
+
+
+def test_repr_contains_flags():
+    u = MicroOp(1, 0x8, OpClass.INT_ALU, wrong_path=True)
+    u.executed = True
+    text = repr(u)
+    assert "WP" in text and "X" in text

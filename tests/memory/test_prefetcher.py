@@ -1,0 +1,58 @@
+from repro.memory.prefetcher import StridePrefetcher
+
+
+def test_no_prefetch_until_confident():
+    p = StridePrefetcher(degree=4)
+    assert p.train_and_prefetch(0x10, 0) == []
+    assert p.train_and_prefetch(0x10, 64) == []      # stride learned
+    assert p.train_and_prefetch(0x10, 128) == []     # conf 1
+    assert p.train_and_prefetch(0x10, 192) != []     # conf 2: fire
+
+
+def test_prefetch_addresses_follow_stride():
+    p = StridePrefetcher(degree=3, line_bytes=64)
+    for addr in (0, 64, 128):
+        p.train_and_prefetch(0x20, addr)
+    lines = p.train_and_prefetch(0x20, 192)
+    assert lines == [4, 5, 6]
+
+
+def test_small_stride_dedupes_lines():
+    p = StridePrefetcher(degree=8, line_bytes=64)
+    for addr in (0, 8, 16):
+        p.train_and_prefetch(0x30, addr)
+    lines = p.train_and_prefetch(0x30, 24)
+    assert len(lines) == len(set(lines))
+    assert lines      # 8-byte stride still crosses a line within degree 8
+
+
+def test_stride_change_resets_confidence():
+    p = StridePrefetcher(degree=4)
+    for addr in (0, 64, 128, 192):
+        p.train_and_prefetch(0x40, addr)
+    assert p.train_and_prefetch(0x40, 1000) == []    # broken stride
+    assert p.train_and_prefetch(0x40, 1064) == []    # rebuilding confidence
+
+
+def test_usefulness_accounting():
+    p = StridePrefetcher(degree=2)
+    p.mark_prefetched(10)
+    p.issued = 2
+    p.note_demand_hit(10)
+    p.note_demand_hit(11)      # never prefetched: no credit
+    assert p.useful == 1
+    assert p.accuracy == 0.5
+
+
+def test_zero_stride_never_fires():
+    p = StridePrefetcher(degree=4)
+    for _ in range(10):
+        assert p.train_and_prefetch(0x50, 4096) == []
+
+
+def test_per_pc_entries_are_independent():
+    p = StridePrefetcher(degree=2, table_entries=256)
+    for addr in (0, 64, 128):
+        p.train_and_prefetch(1, addr)
+    # Different PC (different table entry) starts cold.
+    assert p.train_and_prefetch(2, 192) == []

@@ -1,0 +1,80 @@
+"""Branch handling: mispredict squash, wrong-path accounting, penalty."""
+
+from repro.isa.opclass import OpClass
+from repro.isa.trace import ListTrace
+from repro.isa.uop import MicroOp
+from repro.pipeline.cpu import Simulator
+
+from tests.conftest import alu, run_to_completion, spec_config, uop
+
+
+def taken_branch(pc=0x10, target=0x40):
+    return uop(OpClass.BRANCH, pc=pc, srcs=[2], taken=True, target=target)
+
+
+def test_cold_taken_branch_mispredicts_once():
+    cfg = spec_config(delay=4)
+    uops = [alu([2], 4), taken_branch(), alu([4], 5), alu([5], 6)]
+    sim = Simulator(cfg, ListTrace(uops))
+    run_to_completion(sim)
+    assert sim.stats.branch_mispredicts == 1
+    assert sim.stats.committed_uops == 4      # everything still commits
+
+
+def test_wrong_path_uops_issued_but_never_committed():
+    cfg = spec_config(delay=4)
+    uops = [taken_branch()] + [alu([2], 4, pc=0x100 + i) for i in range(6)]
+    sim = Simulator(cfg, ListTrace(uops))
+    run_to_completion(sim)
+    assert sim.stats.wrong_path_issued > 0
+    assert sim.stats.committed_uops == len(uops)
+
+
+def test_mispredict_penalty_constant_across_delays():
+    """Section 3.1: frontend shortens as D grows, so the fetch-to-resolve
+    distance (and thus the misprediction penalty) stays constant."""
+    def cycles_for(delay):
+        cfg = spec_config(delay=delay)
+        uops = [taken_branch()] + [alu([2], 4, pc=0x200 + i)
+                                   for i in range(8)]
+        sim = Simulator(cfg, ListTrace(uops))
+        run_to_completion(sim)
+        return sim.stats.cycles
+    base = cycles_for(0)
+    for delay in (2, 4, 6):
+        assert abs(cycles_for(delay) - base) <= 2
+
+
+def test_trained_branch_stops_mispredicting():
+    cfg = spec_config(delay=4)
+    block = [alu([2], 4, pc=0x100), taken_branch(pc=0x101, target=0x100)]
+    sim = Simulator(cfg, ListTrace(block * 200))
+    run_to_completion(sim, max_cycles=100_000)
+    assert sim.stats.branches == 200
+    assert sim.stats.branch_mispredicts < 20   # only the cold start
+
+
+def test_branch_after_load_waits_for_data():
+    """A branch whose source is a load result resolves later: more wrong
+    path. Sanity: simulation stays consistent and commits everything."""
+    from tests.conftest import load
+    cfg = spec_config(delay=4)
+    uops = [load(0x100000, dst=4),
+            uop(OpClass.BRANCH, pc=0x20, srcs=[4], taken=True, target=0x80),
+            alu([2], 5)]
+    sim = Simulator(cfg, ListTrace(uops))
+    run_to_completion(sim)
+    assert sim.stats.committed_uops == 3
+    assert sim.stats.branch_mispredicts == 1
+
+
+def test_nested_wrong_path_does_not_redirect():
+    """Wrong-path branches must never redirect fetch; after resolution of
+    the real branch everything drains cleanly."""
+    cfg = spec_config(delay=4)
+    uops = [taken_branch(pc=0x10)] + [alu([2], 4, pc=0x300 + i)
+                                      for i in range(10)]
+    sim = Simulator(cfg, ListTrace(uops))
+    run_to_completion(sim)
+    assert sim.done
+    assert sim.stats.committed_uops == len(uops)

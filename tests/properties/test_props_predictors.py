@@ -1,0 +1,94 @@
+"""Property-based tests on the paper's predictors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criticality import CriticalityPredictor
+from repro.core.global_ctr import GlobalHitMissCounter
+from repro.core.hm_filter import FilterPrediction, HitMissFilter
+from repro.core.shifting import ScheduleShifter
+from repro.frontend.ras import ReturnAddressStack
+
+pcs = st.integers(min_value=0, max_value=1 << 20)
+
+
+class TestGlobalCtrProperties:
+    @given(st.lists(st.booleans(), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_value_stays_in_range(self, cycles):
+        c = GlobalHitMissCounter()
+        for miss in cycles:
+            c.observe_cycle(miss)
+            assert 0 <= c.value <= 15
+
+    @given(st.lists(st.booleans(), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_quiet_period_always_restores_speculation(self, cycles):
+        c = GlobalHitMissCounter()
+        for miss in cycles:
+            c.observe_cycle(miss)
+        for _ in range(16):
+            c.observe_cycle(False)
+        assert c.predict_hit()
+
+
+class TestFilterProperties:
+    @given(st.lists(st.tuples(pcs, st.booleans()), max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_counters_bounded_and_prediction_total(self, trains):
+        f = HitMissFilter(entries=64, reset_interval=50)
+        for pc, hit in trains:
+            f.train(pc, hit)
+            assert all(0 <= ctr <= f.ctr_max for ctr in f._counters)
+            assert f.predict(pc) in (FilterPrediction.SURE_HIT,
+                                     FilterPrediction.SURE_MISS,
+                                     FilterPrediction.DEFER)
+
+    @given(pcs, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_consistent_behaviour_never_sure_wrong(self, pc, n):
+        """A load that always hits must never be predicted sure-miss."""
+        f = HitMissFilter(entries=64)
+        for _ in range(n):
+            f.train(pc, hit=True)
+        assert f.predict(pc) is not FilterPrediction.SURE_MISS
+
+
+class TestCriticalityProperties:
+    @given(st.lists(st.tuples(pcs, st.booleans()), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_counters_bounded(self, trains):
+        p = CriticalityPredictor(entries=32)
+        for pc, crit in trains:
+            p.train(pc, crit)
+        assert all(p.ctr_min <= c <= p.ctr_max for c in p._counters)
+
+
+class TestShifterProperties:
+    @given(st.integers(1, 10), st.integers(0, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_promise_never_below_base(self, base, position):
+        s = ScheduleShifter(enabled=True)
+        assert s.promised_latency(base, position) >= base
+
+
+class TestRasProperties:
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("push"), st.integers(1, 1 << 20)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_stack_within_depth(self, ops):
+        """While nesting stays within capacity, the RAS behaves exactly
+        like an unbounded stack."""
+        ras = ReturnAddressStack(16)
+        ref = []
+        for op, val in ops:
+            if op == "push":
+                ras.push(val)
+                ref.append(val)
+                if len(ref) > 16:
+                    ref.pop(0)
+            else:
+                expected = ref.pop() if ref else 0
+                assert ras.pop() == expected
