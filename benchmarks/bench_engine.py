@@ -1,0 +1,74 @@
+"""Engine micro-benchmark — serial vs parallel vs warm persistent cache.
+
+Times the same (2 preset x 4 workload) grid three ways:
+
+* **serial**: ``jobs=1``, cold cache (every cell simulated inline);
+* **parallel**: ``jobs=REPRO_JOBS`` (default 4 here), cold cache;
+* **warm cache**: second run against the persistent directory the serial
+  run populated — must perform zero simulations.
+
+With CI-sized cells the pool's fork overhead can eat the parallel win;
+scale up (``REPRO_MEASURE=60000 REPRO_WORKLOADS=full``) to see the
+engine amortize. The warm-cache row should stay in the milliseconds
+regardless of volume.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.engine import EngineOptions, ResultCache
+from repro.experiments.runner import ConfigRequest, Settings, run_experiment
+
+from benchmarks.conftest import emit
+
+GRID = [
+    ConfigRequest("Baseline_0", "Baseline_0", banked=False),
+    ConfigRequest("SpecSched_4_Crit", "SpecSched_4_Crit", banked=True),
+]
+
+
+def _grid_settings(base: Settings) -> Settings:
+    workloads = base.workloads[:4]
+    return Settings(workloads=workloads, warmup_uops=base.warmup_uops,
+                    measure_uops=base.measure_uops,
+                    functional_warmup_uops=base.functional_warmup_uops,
+                    seed=base.seed)
+
+
+def _run(settings: Settings, jobs: int, cache: ResultCache) -> float:
+    start = time.perf_counter()
+    run_experiment("bench_engine", GRID, "Baseline_0", settings,
+                   options=EngineOptions(jobs=jobs), cache=cache)
+    return time.perf_counter() - start
+
+
+@pytest.mark.slow
+def test_engine_modes(benchmark, settings, engine_options, tmp_path):
+    grid = _grid_settings(settings)
+    jobs = max(engine_options.jobs, 4)
+    cache_dir = tmp_path / "cache"
+
+    serial_s = _run(grid, 1, ResultCache(cache_dir))
+    parallel_s = _run(grid, jobs, ResultCache(None))
+    warm_cache = ResultCache(cache_dir)
+    warm_s = benchmark.pedantic(
+        lambda: _run(grid, 1, warm_cache), iterations=1, rounds=1)
+
+    cells = len(GRID) * len(grid.workloads)
+    emit(
+        "Engine — serial vs parallel vs warm persistent cache",
+        f"grid: {len(GRID)} presets x {len(grid.workloads)} workloads "
+        f"= {cells} cells ({grid.measure_uops} measured uops each)",
+        f"{'serial (jobs=1, cold)':32s} {serial_s:8.3f} s",
+        f"{'parallel (jobs=%d, cold)' % jobs:32s} {parallel_s:8.3f} s "
+        f"(speedup x{serial_s / parallel_s:.2f})",
+        f"{'warm persistent cache':32s} {warm_s:8.3f} s "
+        f"(speedup x{serial_s / warm_s:.0f})",
+    )
+    # The warm run must be pure cache: no cell simulated, all from disk.
+    assert warm_cache.misses == 0
+    assert warm_cache.disk_hits == cells
+    assert warm_s < serial_s

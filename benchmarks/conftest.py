@@ -5,19 +5,38 @@ pytest-benchmark timing wraps the (cached) experiment run, and the bench
 prints the paper-style rows so EXPERIMENTS.md can be refreshed from the
 output. Scale with::
 
-    REPRO_WORKLOADS=full REPRO_MEASURE=40000 pytest benchmarks/ --benchmark-only
+    REPRO_WORKLOADS=full REPRO_MEASURE=40000 REPRO_JOBS=8 \
+        pytest benchmarks/ --benchmark-only
+
+``REPRO_JOBS`` fans the grid out over worker processes and
+``REPRO_CACHE_DIR`` points the persistent result cache somewhere durable,
+so a re-run of the full figure set after an unrelated edit costs seconds,
+not hours (see :mod:`repro.experiments.engine`). Long-running benches are
+marked ``slow``; deselect them with ``-m 'not slow'``.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.experiments.engine import EngineOptions
 from repro.experiments.runner import Settings
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark/test; deselect with "
+                   "-m 'not slow'")
 
 
 @pytest.fixture(scope="session")
 def settings() -> Settings:
     return Settings.from_env()
+
+
+@pytest.fixture(scope="session")
+def engine_options() -> EngineOptions:
+    return EngineOptions.from_env()
 
 
 def emit(title: str, *blocks: str) -> None:

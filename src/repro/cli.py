@@ -7,10 +7,15 @@ Commands:
 * ``table1`` — render the machine configuration (paper Table 1);
 * ``table2`` — run Baseline_0 over the selected workloads (paper Table 2);
 * ``figure {3,4,5,7,8}`` — regenerate one evaluation figure;
+* ``sweep FILE`` — execute a declarative sweep file (TOML/JSON, see
+  ``examples/sweeps/``) through the parallel experiment engine;
 * ``list`` — available workloads and configuration presets.
 
 Workload selection and simulation volume follow the ``REPRO_*``
-environment variables (see :mod:`repro.experiments.runner`).
+environment variables (see :mod:`repro.experiments.runner`); the
+``--jobs`` / ``--cache-dir`` flags on ``figure``, ``table2`` and
+``sweep`` override ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` for one
+invocation.
 """
 
 from __future__ import annotations
@@ -21,24 +26,25 @@ from typing import List, Optional
 
 from repro.core.presets import PRESET_NAMES
 from repro.experiments import figures
+from repro.experiments.engine import EngineOptions, Sweep
 from repro.experiments.report import (
     breakdown_table,
     performance_table,
     summary_line,
 )
-from repro.experiments.runner import Settings
+from repro.experiments.runner import Settings, run_sweep
 from repro.experiments.tables import render_table1, render_table2
 from repro.pipeline.sim import run_workload
 from repro.workloads.suite import SUITE
 
 _FIGURES = {
-    "3": (figures.fig3, []),
-    "4": (figures.fig4, [("SpecSched_4 (banked)", None)]),
-    "5": (figures.fig5, [("SpecSched_4_Shift", "SpecSched_4")]),
-    "7": (figures.fig7, [("SpecSched_4_Ctr", "SpecSched_4"),
-                         ("SpecSched_4_Filter", "SpecSched_4")]),
-    "8": (figures.fig8, [("SpecSched_4_Combined", "SpecSched_4"),
-                         ("SpecSched_4_Crit", "SpecSched_4")]),
+    "3": ("fig3", []),
+    "4": ("fig4", [("SpecSched_4 (banked)", None)]),
+    "5": ("fig5", [("SpecSched_4_Shift", "SpecSched_4")]),
+    "7": ("fig7", [("SpecSched_4_Ctr", "SpecSched_4"),
+                   ("SpecSched_4_Filter", "SpecSched_4")]),
+    "8": ("fig8", [("SpecSched_4_Combined", "SpecSched_4"),
+                   ("SpecSched_4_Crit", "SpecSched_4")]),
 }
 
 
@@ -58,13 +64,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="measured µops (default 20000)")
 
     sub.add_parser("table1", help="render the machine configuration")
-    sub.add_parser("table2", help="Baseline_0 IPC per workload")
+    table2_p = sub.add_parser("table2", help="Baseline_0 IPC per workload")
+    _add_engine_flags(table2_p)
 
     fig_p = sub.add_parser("figure", help="regenerate an evaluation figure")
     fig_p.add_argument("number", choices=sorted(_FIGURES))
+    _add_engine_flags(fig_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="execute a declarative sweep file (TOML or JSON)")
+    sweep_p.add_argument("file", help="sweep description, e.g. "
+                                      "examples/sweeps/shifting.toml")
+    _add_engine_flags(sweep_p)
 
     sub.add_parser("list", help="available workloads and presets")
     return parser
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (overrides REPRO_JOBS)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result cache directory; 'off' "
+                             "disables (overrides REPRO_CACHE_DIR)")
+
+
+def _engine_options(args: argparse.Namespace) -> EngineOptions:
+    """Environment defaults with the command-line flags layered on top.
+
+    Built per invocation (never written back to ``os.environ``) so
+    embedding ``main()`` in a test or notebook leaks no state."""
+    options = EngineOptions.from_env()
+    if getattr(args, "jobs", None) is not None:
+        options = EngineOptions(jobs=max(1, args.jobs),
+                                cache_dir=options.cache_dir)
+    if getattr(args, "cache_dir", None) is not None:
+        options = EngineOptions(jobs=options.jobs,
+                                cache_dir=args.cache_dir)
+    return options
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -83,15 +120,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_figure(number: str) -> int:
-    driver, summaries = _FIGURES[number]
-    result = driver(Settings.from_env())
+def _cmd_figure(number: str, options: EngineOptions) -> int:
+    sweep_name, summaries = _FIGURES[number]
+    sweep = figures.FIGURE_SWEEPS[sweep_name]()
+    result = run_sweep(sweep, Settings.from_env(), options=options)
     print(performance_table(result))
     for label, reference in summaries:
         print()
         print(breakdown_table(result, label))
         if reference:
             print(summary_line(result, label, reference))
+    return 0
+
+
+def _cmd_sweep(path: str, options: EngineOptions) -> int:
+    sweep = Sweep.from_file(path)
+    result = run_sweep(sweep, options=options)
+    print(performance_table(result))
+    for series in sweep.series:
+        if series.label == sweep.baseline:
+            continue
+        print()
+        print(summary_line(result, series.label, sweep.baseline))
     return 0
 
 
@@ -114,10 +164,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table1())
         return 0
     if args.command == "table2":
-        print(render_table2(Settings.from_env()))
+        print(render_table2(Settings.from_env(),
+                            options=_engine_options(args)))
         return 0
     if args.command == "figure":
-        return _cmd_figure(args.number)
+        return _cmd_figure(args.number, _engine_options(args))
+    if args.command == "sweep":
+        return _cmd_sweep(args.file, _engine_options(args))
     if args.command == "list":
         return _cmd_list()
     return 1

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict
 
 from repro.common.mathutil import is_pow2
+from repro.common.serialize import dataclass_from_dict, stable_hash
 
 #: Fetch-to-commit latency of the Baseline_0 machine (Section 3.1).
 FETCH_TO_COMMIT_CYCLES = 19
@@ -276,3 +277,18 @@ class SimConfig:
     def describe(self) -> Dict[str, Any]:
         """Flat description used by the Table-1 renderer."""
         return dataclasses.asdict(self)
+
+    # -- serialization (persistent result cache, sweep files) -------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless plain-dict encoding; inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimConfig":
+        return dataclass_from_dict(cls, data)
+
+    def content_hash(self) -> str:
+        """Stable hex digest over every field; any difference in any
+        (nested) field yields a different hash."""
+        return stable_hash(self.to_dict())

@@ -1,0 +1,80 @@
+"""Stable serialization helpers for configs, specs and cache keys.
+
+The persistent result cache (:mod:`repro.experiments.engine`) keys entries
+by a content hash of everything that can influence a simulation's outcome.
+That only works if serialization is *canonical*: the same object always
+produces the same bytes, across processes and Python versions. Hence:
+
+* :func:`canonical_json` — sorted keys, no whitespace, no NaN;
+* :func:`stable_hash` — sha256 over the canonical JSON;
+* :func:`dataclass_from_dict` — the inverse of :func:`dataclasses.asdict`
+  for the (nested, frozen) dataclasses used in this codebase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import types
+import typing
+from typing import Any, Dict, Type, TypeVar
+
+T = TypeVar("T")
+
+_UNION_TYPES = (typing.Union, getattr(types, "UnionType", typing.Union))
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, minimal separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def stable_hash(obj: Any) -> str:
+    """Hex sha256 of the canonical JSON encoding of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def _build(field_type: Any, value: Any) -> Any:
+    """Recursively rebuild ``value`` according to ``field_type``."""
+    origin = typing.get_origin(field_type)
+    if origin in _UNION_TYPES:           # Optional[X] and friends
+        args = [a for a in typing.get_args(field_type) if a is not type(None)]
+        if value is None:
+            return None
+        if len(args) == 1:
+            return _build(args[0], value)
+        return value
+    if origin in (tuple, list):
+        args = typing.get_args(field_type)
+        if args and args[-1] is Ellipsis:        # Tuple[X, ...]
+            elem = args[0]
+            items = [_build(elem, v) for v in value]
+        elif args:
+            items = [_build(t, v) for t, v in zip(args, value)]
+        else:
+            items = list(value)
+        return tuple(items) if origin is tuple else items
+    if dataclasses.is_dataclass(field_type) and isinstance(value, dict):
+        return dataclass_from_dict(field_type, value)
+    return value
+
+
+def dataclass_from_dict(cls: Type[T], data: Dict[str, Any]) -> T:
+    """Rebuild a (possibly nested) dataclass from ``dataclasses.asdict``
+    output.
+
+    Bare ``tuple`` annotations (e.g. ``WorkloadSpec.kernels``) cannot name
+    their element type, so callers needing typed elements should override
+    ``from_dict`` on that class (as :class:`WorkloadSpec` does).
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in data:
+            continue                     # fall back to the field default
+        kwargs[field.name] = _build(hints[field.name], data[field.name])
+    return cls(**kwargs)

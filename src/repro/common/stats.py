@@ -12,7 +12,7 @@ The counters here define the metrics of every figure in the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -143,3 +143,28 @@ class SimStats:
             setattr(dup, name, value)
         dup.extra = dict(self.extra)
         return dup
+
+    # -- serialization (persistent result cache, golden files) -----------
+
+    def to_dict(self) -> Dict[str, int]:
+        """Lossless counter dump (unlike :meth:`snapshot`, no derived
+        rates mixed in); inverse of :meth:`from_dict`."""
+        out = {name: value for name, value in self.__dict__.items()
+               if name != "extra"}
+        out["extra"] = dict(self.extra)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimStats":
+        counters = {f.name for f in fields(cls)}
+        stats = cls()
+        for name, value in data.items():
+            if name == "extra":
+                stats.extra = dict(value)
+            elif name in counters:
+                setattr(stats, name, value)
+            else:
+                # Catches derived keys too (ipc, replayed_total, ...), so
+                # feeding snapshot() output here fails loudly, not subtly.
+                raise ValueError(f"unknown SimStats counter {name!r}")
+        return stats

@@ -1,7 +1,10 @@
 """Experiment harness: regenerates every table and figure of the paper.
 
+* :mod:`repro.experiments.engine` — the parallel execution engine:
+  process-pool cell dispatch, the persistent content-hash result cache,
+  and the declarative :class:`Sweep` API;
 * :mod:`repro.experiments.runner` — grid runner over (configuration,
-  workload) with in-process caching;
+  workload), funnelling through the engine;
 * :mod:`repro.experiments.figures` — one driver per figure (3, 4, 5, 7, 8)
   plus the Section-5.3 delay sweep and the headline summary;
 * :mod:`repro.experiments.tables` — Table 1 / Table 2 renderers;
@@ -10,11 +13,18 @@
   Figures 1, 2 and 6.
 """
 
+from repro.experiments.engine import (
+    EngineOptions,
+    ResultCache,
+    Sweep,
+    SweepSeries,
+)
 from repro.experiments.runner import (
     ConfigRequest,
     ExperimentResult,
     Settings,
     run_experiment,
+    run_sweep,
 )
 from repro.experiments.figures import (
     fig3,
@@ -30,8 +40,12 @@ from repro.experiments.report import format_table
 
 __all__ = [
     "ConfigRequest",
+    "EngineOptions",
     "ExperimentResult",
+    "ResultCache",
     "Settings",
+    "Sweep",
+    "SweepSeries",
     "delay_sweep",
     "fig3",
     "fig4",
@@ -42,5 +56,6 @@ __all__ = [
     "headline",
     "render_table1",
     "run_experiment",
+    "run_sweep",
     "table2",
 ]

@@ -1,0 +1,430 @@
+"""Parallel experiment engine with a persistent result cache.
+
+This is the batch-execution core every sweep funnels through
+(:func:`repro.experiments.runner.run_experiment`, the figure drivers, the
+``repro sweep`` CLI subcommand and the benchmarks). It does three things:
+
+1. **Cell dispatch.** A *cell* is one ``(configuration, workload)``
+   simulation at fixed µop volumes and seed. :func:`run_cells` executes a
+   batch of cells either inline (``jobs == 1``) or across worker
+   processes via :class:`concurrent.futures.ProcessPoolExecutor`
+   (``jobs > 1``). Each cell is fully described by a plain-dict *payload*
+   (serialized config + workload spec + volumes + seed), so results are
+   bit-identical no matter which process — or which run — simulated them.
+
+2. **Persistent result cache.** :class:`ResultCache` layers an in-process
+   memo over an on-disk store. Entries are keyed by a sha256 content hash
+   of the payload *including a code-version digest over the package
+   sources*, so editing any simulator source invalidates stale results
+   automatically. Layout (under ``REPRO_CACHE_DIR``, default
+   ``~/.cache/repro-isca2015``)::
+
+       <cache_dir>/<key[:2]>/<key>.json
+           {"schema": 1, "key": ..., "payload": {...}, "stats": {...}}
+
+   Writes are atomic (tempfile + ``os.replace``), so concurrent sweeps
+   sharing a cache directory cannot corrupt entries.
+
+3. **Declarative sweeps.** A :class:`Sweep` names a grid of
+   :class:`ConfigRequest` series plus optional workload/volume overrides;
+   :meth:`Sweep.from_file` loads one from TOML or JSON (see
+   ``examples/sweeps/``) and :func:`run_sweep` executes it.
+
+Engine knobs come from the environment (see :class:`EngineOptions`):
+
+* ``REPRO_JOBS`` — worker processes (default 1 = serial);
+* ``REPRO_CACHE_DIR`` — cache directory; ``off``/``none``/``0`` or the
+  empty string disables the persistent layer (the in-process memo always
+  applies).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.serialize import stable_hash
+from repro.common.stats import SimStats
+from repro.core.presets import make_config
+from repro.pipeline.cpu import Simulator
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suite import get_workload
+
+#: Bumped when the cache entry format (not the simulator) changes.
+CACHE_SCHEMA = 1
+
+_DISABLE_TOKENS = frozenset({"", "off", "none", "0"})
+
+
+# ---------------------------------------------------------------------------
+# Code-version digest
+
+
+#: Presentation-only modules excluded from the code-version digest: they
+#: render or select results but cannot change a cell's counters (a cell's
+#: configuration and workload are hashed into the key directly). Editing
+#: CLI help or table formatting must not invalidate the whole cache.
+_NON_SEMANTIC_SOURCES = frozenset({
+    "cli.py",
+    "__main__.py",
+    "experiments/figures.py",
+    "experiments/report.py",
+    "experiments/tables.py",
+    "experiments/timeline.py",
+})
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hex digest over the simulation-relevant ``.py`` sources of the
+    ``repro`` package.
+
+    Folding this into the cache key means any edit that can change a
+    simulation's counters invalidates all previously cached results — no
+    manual version bumps, no silently stale goldens. Pure presentation
+    modules (:data:`_NON_SEMANTIC_SOURCES`) are excluded so cosmetic
+    edits keep the cache warm.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source in sorted(package_root.rglob("*.py")):
+        relative = source.relative_to(package_root).as_posix()
+        if relative in _NON_SEMANTIC_SOURCES:
+            continue
+        digest.update(relative.encode())
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Engine options
+
+
+def default_cache_dir() -> Path:
+    base = os.environ.get("XDG_CACHE_HOME", "").strip()
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro-isca2015"
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Execution knobs, normally taken from the environment."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None     # None => default; "off" => disabled
+
+    @staticmethod
+    def from_env() -> "EngineOptions":
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        return EngineOptions(jobs=max(1, jobs),
+                             cache_dir=os.environ.get("REPRO_CACHE_DIR"))
+
+    def cache_path(self) -> Optional[Path]:
+        """Resolved persistent-cache directory, or ``None`` if disabled."""
+        if self.cache_dir is None:
+            return default_cache_dir()
+        if self.cache_dir.strip().lower() in _DISABLE_TOKENS:
+            return None
+        return Path(self.cache_dir)
+
+
+# ---------------------------------------------------------------------------
+# Persistent result cache
+
+
+class ResultCache:
+    """Two-level result store: in-process memo over an on-disk JSON layer.
+
+    ``memory`` may be shared between instances (the runner shares one
+    process-wide dict so every sweep in a process benefits); the disk
+    layer is optional. Hit/miss counters make cache behaviour assertable
+    in tests and visible in benchmarks.
+    """
+
+    def __init__(self, directory: Optional[Path] = None,
+                 memory: Optional[Dict[str, SimStats]] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.memory = memory if memory is not None else {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- lookup ----------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimStats]:
+        hit = self.memory.get(key)
+        if hit is not None:
+            self.memory_hits += 1
+            return hit.copy()
+        if self.directory is not None:
+            path = self._entry_path(key)
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                entry = None
+            if not isinstance(entry, dict):    # corrupt non-object JSON
+                entry = None
+            if entry is not None and entry.get("schema") == CACHE_SCHEMA \
+                    and isinstance(entry.get("stats"), dict):
+                try:
+                    stats = SimStats.from_dict(entry["stats"])
+                except ValueError:             # tampered counter names
+                    stats = None
+                if stats is not None:
+                    self.memory[key] = stats.copy()
+                    self.disk_hits += 1
+                    return stats
+        self.misses += 1
+        return None
+
+    def put(self, key: str, stats: SimStats,
+            payload: Optional[Dict[str, Any]] = None) -> None:
+        self.memory[key] = stats.copy()
+        self.stores += 1
+        if self.directory is None:
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "key": key,
+                 "payload": payload, "stats": stats.to_dict()}
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance -----------------------------------------------------
+
+    def clear_memory(self) -> None:
+        self.memory.clear()
+
+    def entry_count(self) -> int:
+        """Number of entries in the persistent layer (0 if disabled)."""
+        if self.directory is None or not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Cells and their payloads
+
+
+def cell_payload(preset: str, workload: WorkloadSpec, *,
+                 banked: bool = True, load_ports: int = 2,
+                 warmup_uops: int, measure_uops: int,
+                 functional_warmup_uops: int, seed: int) -> Dict[str, Any]:
+    """Self-contained, picklable description of one simulation cell.
+
+    Everything that can influence the measured counters is in here — the
+    fully resolved :class:`SimConfig`, the full workload spec, the µop
+    volumes, the seed and the code-version digest — so the payload's
+    content hash is a sound cache key.
+    """
+    config = make_config(preset, banked=banked, load_ports=load_ports)
+    return {
+        "config": config.to_dict(),
+        "workload": workload.to_dict(),
+        "warmup_uops": warmup_uops,
+        "measure_uops": measure_uops,
+        "functional_warmup_uops": functional_warmup_uops,
+        "seed": seed,
+        "code_version": code_version(),
+    }
+
+
+def cell_key(payload: Dict[str, Any]) -> str:
+    """Content hash of a cell payload — the persistent-cache key."""
+    return stable_hash(payload)
+
+
+def cell_seed(payload: Dict[str, Any]) -> int:
+    """The cell's trace seed: the sweep-wide base seed, unchanged.
+
+    Every cell of a sweep deliberately shares one seed so all
+    configurations of a workload see the *same* µop stream (the paper
+    compares configurations, not trace instances). It is a function of
+    the payload alone — never of dispatch order or worker identity.
+    """
+    return payload["seed"]
+
+
+def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: simulate one cell, return its counter dict.
+
+    Runs in worker processes under ``jobs > 1``; must stay a module-level
+    function (picklable) and must touch no process-global mutable state.
+    """
+    from repro.common.config import SimConfig
+
+    config = SimConfig.from_dict(payload["config"]).validate()
+    spec = WorkloadSpec.from_dict(payload["workload"])
+    seed = cell_seed(payload)
+    sim = Simulator(config, spec.build_trace(seed))
+    if payload["functional_warmup_uops"]:
+        sim.functional_warmup(spec.build_trace(seed),
+                              payload["functional_warmup_uops"])
+    stats = sim.run_with_warmup(payload["warmup_uops"],
+                                payload["measure_uops"])
+    return stats.to_dict()
+
+
+def run_cells(payloads: Sequence[Dict[str, Any]],
+              options: Optional[EngineOptions] = None,
+              cache: Optional[ResultCache] = None) -> List[SimStats]:
+    """Execute a batch of cells, returning stats in payload order.
+
+    Cache hits (memory, then disk) are never re-simulated; misses run
+    inline when ``options.jobs == 1`` and across a process pool
+    otherwise. Duplicate payloads in one batch simulate once.
+    """
+    options = options or EngineOptions.from_env()
+    cache = cache if cache is not None else ResultCache(options.cache_path())
+    results: List[Optional[SimStats]] = [None] * len(payloads)
+    pending: Dict[str, List[int]] = {}
+    for index, payload in enumerate(payloads):
+        key = cell_key(payload)
+        hit = cache.get(key)
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.setdefault(key, []).append(index)
+
+    if pending:
+        todo = [(key, indices[0]) for key, indices in pending.items()]
+        if options.jobs > 1 and len(todo) > 1:
+            workers = min(options.jobs, len(todo))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                stat_dicts = list(pool.map(
+                    simulate_payload, [payloads[i] for _, i in todo]))
+        else:
+            stat_dicts = [simulate_payload(payloads[i]) for _, i in todo]
+        for (key, first_index), stat_dict in zip(todo, stat_dicts):
+            stats = SimStats.from_dict(stat_dict)
+            cache.put(key, stats, payloads[first_index])
+            for index in pending[key]:
+                results[index] = stats.copy()
+
+    assert all(r is not None for r in results)
+    return results     # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Declarative sweeps
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One series (configuration) of a sweep/experiment grid.
+
+    This is the canonical series type; :mod:`repro.experiments.runner`
+    re-exports it under its historical name ``ConfigRequest``."""
+
+    label: str
+    preset: str
+    banked: bool = True
+    load_ports: int = 2
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A declarative (configuration × workload) grid.
+
+    ``workloads`` and the volume fields are optional overrides; anything
+    left ``None`` falls back to the environment-driven
+    :class:`repro.experiments.runner.Settings` defaults, so sweep files
+    stay small and CI can still scale them with ``REPRO_*`` knobs.
+    """
+
+    name: str
+    baseline: str
+    series: Tuple[SweepSeries, ...]
+    workloads: Optional[Tuple[str, ...]] = None
+    warmup_uops: Optional[int] = None
+    measure_uops: Optional[int] = None
+    functional_warmup_uops: Optional[int] = None
+    seed: Optional[int] = None
+
+    def validate(self) -> "Sweep":
+        labels = [s.label for s in self.series]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate series labels in sweep {self.name!r}")
+        if self.baseline not in labels:
+            raise ValueError(
+                f"baseline {self.baseline!r} not among series of "
+                f"sweep {self.name!r}")
+        for series in self.series:
+            make_config(series.preset)      # fail fast on preset typos
+        for workload in self.workloads or ():
+            get_workload(workload)          # fail fast on workload typos
+        return self
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Sweep":
+        known = {f.name for f in dataclasses.fields(Sweep)} | {"series"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown sweep fields: {sorted(unknown)}")
+        series = tuple(SweepSeries(**entry) for entry in data["series"])
+        workloads = data.get("workloads")
+        return Sweep(
+            name=data["name"],
+            baseline=data["baseline"],
+            series=series,
+            workloads=tuple(workloads) if workloads is not None else None,
+            warmup_uops=data.get("warmup_uops"),
+            measure_uops=data.get("measure_uops"),
+            functional_warmup_uops=data.get("functional_warmup_uops"),
+            seed=data.get("seed"),
+        ).validate()
+
+    @staticmethod
+    def from_file(path) -> "Sweep":
+        """Load a sweep from a ``.toml`` or ``.json`` file."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            try:
+                import tomllib
+            except ImportError:          # Python < 3.11
+                try:
+                    import tomli as tomllib    # type: ignore[no-redef]
+                except ImportError:
+                    raise RuntimeError(
+                        "TOML sweep files need Python 3.11+ (tomllib) or "
+                        "the tomli package; rewrite the sweep as .json")
+            data = tomllib.loads(text)
+        elif path.suffix.lower() == ".json":
+            data = json.loads(text)
+        else:
+            raise ValueError(
+                f"unsupported sweep file type {path.suffix!r} "
+                f"(expected .toml or .json)")
+        return Sweep.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)

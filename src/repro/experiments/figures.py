@@ -14,85 +14,120 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.experiments.engine import Sweep, SweepSeries
 from repro.experiments.runner import (
     ConfigRequest,
     ExperimentResult,
     Settings,
-    run_experiment,
+    run_sweep,
 )
 
 #: Every figure normalizes to this series.
 BASELINE = ConfigRequest("Baseline_0", "Baseline_0", banked=False)
+_BASE = BASELINE
+
+
+def _sweep(name: str, series) -> Sweep:
+    return Sweep(name=name, baseline=_BASE.label,
+                 series=(_BASE,) + tuple(series)).validate()
+
+
+def fig3_sweep() -> Sweep:
+    return _sweep("fig3", [
+        SweepSeries("Baseline_0, 1 load/cycle", "Baseline_0",
+                    banked=False, load_ports=1),
+        SweepSeries("Baseline_2", "Baseline_2", banked=False),
+        SweepSeries("Baseline_4", "Baseline_4", banked=False),
+        SweepSeries("Baseline_6", "Baseline_6", banked=False),
+    ])
+
+
+def fig4_sweep() -> Sweep:
+    series = []
+    for delay in (2, 4, 6):
+        series.append(SweepSeries(
+            f"SpecSched_{delay} (dual)", f"SpecSched_{delay}", banked=False))
+        series.append(SweepSeries(
+            f"SpecSched_{delay} (banked)", f"SpecSched_{delay}", banked=True))
+    return _sweep("fig4", series)
+
+
+def fig5_sweep() -> Sweep:
+    return _sweep("fig5", [
+        SweepSeries("SpecSched_4", "SpecSched_4", banked=True),
+        SweepSeries("SpecSched_4_Shift", "SpecSched_4_Shift", banked=True),
+    ])
+
+
+def fig7_sweep() -> Sweep:
+    return _sweep("fig7", [
+        SweepSeries("SpecSched_4", "SpecSched_4", banked=True),
+        SweepSeries("SpecSched_4_Ctr", "SpecSched_4_Ctr", banked=True),
+        SweepSeries("SpecSched_4_Filter", "SpecSched_4_Filter", banked=True),
+    ])
+
+
+def fig8_sweep() -> Sweep:
+    return _sweep("fig8", [
+        SweepSeries("SpecSched_4", "SpecSched_4", banked=True),
+        SweepSeries("SpecSched_4_Combined", "SpecSched_4_Combined",
+                    banked=True),
+        SweepSeries("SpecSched_4_Crit", "SpecSched_4_Crit", banked=True),
+    ])
+
+
+def delay_sweep_sweep() -> Sweep:
+    series = []
+    for delay in (2, 6):
+        series.append(SweepSeries(
+            f"SpecSched_{delay}", f"SpecSched_{delay}", banked=True))
+        series.append(SweepSeries(
+            f"SpecSched_{delay}_Crit", f"SpecSched_{delay}_Crit", banked=True))
+    return _sweep("delay_sweep", series)
+
+
+#: Declarative grid per figure — ``repro figure N`` and the ``fig*``
+#: drivers below execute these by name.
+FIGURE_SWEEPS = {
+    "fig3": fig3_sweep,
+    "fig4": fig4_sweep,
+    "fig5": fig5_sweep,
+    "fig7": fig7_sweep,
+    "fig8": fig8_sweep,
+    "delay_sweep": delay_sweep_sweep,
+}
 
 
 def fig3(settings: Optional[Settings] = None) -> ExperimentResult:
     """Figure 3: cost of *conservative* scheduling as the issue-to-execute
     delay grows (plus the single-load-port bar)."""
-    requests = [
-        BASELINE,
-        ConfigRequest("Baseline_0, 1 load/cycle", "Baseline_0",
-                      banked=False, load_ports=1),
-        ConfigRequest("Baseline_2", "Baseline_2", banked=False),
-        ConfigRequest("Baseline_4", "Baseline_4", banked=False),
-        ConfigRequest("Baseline_6", "Baseline_6", banked=False),
-    ]
-    return run_experiment("fig3", requests, BASELINE.label, settings)
+    return run_sweep(fig3_sweep(), settings)
 
 
 def fig4(settings: Optional[Settings] = None) -> ExperimentResult:
     """Figure 4: speculative scheduling with dual-ported vs banked L1
     (performance, a) and the issued-µop breakdown for the banked case (b)."""
-    requests = [BASELINE]
-    for delay in (2, 4, 6):
-        requests.append(ConfigRequest(
-            f"SpecSched_{delay} (dual)", f"SpecSched_{delay}", banked=False))
-        requests.append(ConfigRequest(
-            f"SpecSched_{delay} (banked)", f"SpecSched_{delay}", banked=True))
-    return run_experiment("fig4", requests, BASELINE.label, settings)
+    return run_sweep(fig4_sweep(), settings)
 
 
 def fig5(settings: Optional[Settings] = None) -> ExperimentResult:
     """Figure 5: Schedule Shifting on the banked L1."""
-    requests = [
-        BASELINE,
-        ConfigRequest("SpecSched_4", "SpecSched_4", banked=True),
-        ConfigRequest("SpecSched_4_Shift", "SpecSched_4_Shift", banked=True),
-    ]
-    return run_experiment("fig5", requests, BASELINE.label, settings)
+    return run_sweep(fig5_sweep(), settings)
 
 
 def fig7(settings: Optional[Settings] = None) -> ExperimentResult:
     """Figure 7: hit/miss filtering (global counter alone, filter+counter)."""
-    requests = [
-        BASELINE,
-        ConfigRequest("SpecSched_4", "SpecSched_4", banked=True),
-        ConfigRequest("SpecSched_4_Ctr", "SpecSched_4_Ctr", banked=True),
-        ConfigRequest("SpecSched_4_Filter", "SpecSched_4_Filter", banked=True),
-    ]
-    return run_experiment("fig7", requests, BASELINE.label, settings)
+    return run_sweep(fig7_sweep(), settings)
 
 
 def fig8(settings: Optional[Settings] = None) -> ExperimentResult:
     """Figure 8: the combined mechanisms and criticality gating."""
-    requests = [
-        BASELINE,
-        ConfigRequest("SpecSched_4", "SpecSched_4", banked=True),
-        ConfigRequest("SpecSched_4_Combined", "SpecSched_4_Combined",
-                      banked=True),
-        ConfigRequest("SpecSched_4_Crit", "SpecSched_4_Crit", banked=True),
-    ]
-    return run_experiment("fig8", requests, BASELINE.label, settings)
+    return run_sweep(fig8_sweep(), settings)
 
 
 def delay_sweep(settings: Optional[Settings] = None) -> ExperimentResult:
     """Section 5.3's closing sweep: _Crit vs plain SpecSched at D=2 and 6."""
-    requests = [BASELINE]
-    for delay in (2, 6):
-        requests.append(ConfigRequest(
-            f"SpecSched_{delay}", f"SpecSched_{delay}", banked=True))
-        requests.append(ConfigRequest(
-            f"SpecSched_{delay}_Crit", f"SpecSched_{delay}_Crit", banked=True))
-    return run_experiment("delay_sweep", requests, BASELINE.label, settings)
+    return run_sweep(delay_sweep_sweep(), settings)
 
 
 @dataclass

@@ -1,28 +1,40 @@
-"""Grid runner: (configuration x workload) sweeps with caching.
+"""Grid runner: (configuration x workload) sweeps over the engine.
 
 Every figure driver funnels through :func:`run_experiment`, so simulation
-volume is controlled in one place. Scale knobs come from the environment:
+volume is controlled in one place. Execution itself — worker processes,
+the persistent result cache, cell hashing — lives in
+:mod:`repro.experiments.engine`; this module owns the sweep-level
+bookkeeping (:class:`Settings`, :class:`ConfigRequest`,
+:class:`ExperimentResult`) and the process-wide in-memory memo shared by
+every sweep.
+
+Scale knobs come from the environment:
 
 * ``REPRO_WORKLOADS`` — ``subset`` (default, 12 diverse workloads),
   ``full`` (all 36), or a comma-separated list of names;
 * ``REPRO_WARMUP`` / ``REPRO_MEASURE`` — µop counts per run (defaults
-  3000/12000: small enough for CI, large enough for stable shapes).
-
-Results are memoized per (config identity, workload, µop counts) within
-the process, so benchmarks that share configurations (e.g. every figure
-needs Baseline_0) do not re-simulate.
+  3000/12000: small enough for CI, large enough for stable shapes);
+* ``REPRO_JOBS`` — worker processes per sweep (default 1 = serial);
+* ``REPRO_CACHE_DIR`` — persistent result cache directory
+  (``off`` disables; see :mod:`repro.experiments.engine`).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.mathutil import geomean
 from repro.common.stats import SimStats
-from repro.core.presets import make_config
-from repro.pipeline.cpu import Simulator
+from repro.experiments.engine import (
+    EngineOptions,
+    ResultCache,
+    Sweep,
+    SweepSeries,
+    cell_payload,
+    run_cells,
+)
 from repro.workloads.suite import DEFAULT_SUBSET, SUITE, get_workload
 
 
@@ -54,18 +66,23 @@ class Settings:
                         measure_uops=measure,
                         functional_warmup_uops=fwarm)
 
+    def with_sweep_overrides(self, sweep: Sweep) -> "Settings":
+        """Overlay a sweep's optional overrides on these settings."""
+        overrides = {}
+        if sweep.workloads is not None:
+            overrides["workloads"] = sweep.workloads
+        for field_name in ("warmup_uops", "measure_uops",
+                           "functional_warmup_uops", "seed"):
+            value = getattr(sweep, field_name)
+            if value is not None:
+                overrides[field_name] = value
+        return replace(self, **overrides) if overrides else self
 
-@dataclass(frozen=True)
-class ConfigRequest:
-    """One machine configuration in a sweep."""
 
-    label: str                  # series name in the figure
-    preset: str                 # e.g. "SpecSched_4_Crit"
-    banked: bool = True
-    load_ports: int = 2
-
-    def cache_key(self) -> Tuple:
-        return (self.preset, self.banked, self.load_ports)
+#: One machine configuration in a sweep (label, preset, banked,
+#: load_ports) — the historical name for the engine's canonical series
+#: type; experiments and sweeps use the same dataclass.
+ConfigRequest = SweepSeries
 
 
 class ExperimentResult:
@@ -158,49 +175,78 @@ class ExperimentResult:
         return 1.0 - self.total_issued(label) / ref
 
 
-# In-process memo: (preset, banked, load_ports, workload, warmup, measure,
-# seed) -> SimStats. Benchmarks share Baseline_0 etc. across figures.
-_CACHE: Dict[Tuple, SimStats] = {}
+# Process-wide memo shared by every sweep: content-hash -> SimStats.
+# Benchmarks share Baseline_0 etc. across figures; the persistent layer
+# (REPRO_CACHE_DIR) additionally shares results across processes.
+_CACHE: Dict[str, SimStats] = {}
 
 
 def clear_cache() -> None:
     _CACHE.clear()
 
 
-def _simulate(request: ConfigRequest, workload: str,
-              settings: Settings) -> SimStats:
-    key = request.cache_key() + (workload, settings.warmup_uops,
-                                 settings.measure_uops,
-                                 settings.functional_warmup_uops,
-                                 settings.seed)
-    hit = _CACHE.get(key)
-    if hit is not None:
-        return hit
-    config = make_config(request.preset, banked=request.banked,
-                         load_ports=request.load_ports)
-    spec = get_workload(workload)
-    sim = Simulator(config, spec.build_trace(settings.seed))
-    if settings.functional_warmup_uops:
-        sim.functional_warmup(spec.build_trace(settings.seed),
-                              settings.functional_warmup_uops)
-    stats = sim.run_with_warmup(settings.warmup_uops, settings.measure_uops)
-    _CACHE[key] = stats
-    return stats
+def shared_cache(options: Optional[EngineOptions] = None) -> ResultCache:
+    """The default cache: process-wide memo + env-configured disk layer."""
+    options = options or EngineOptions.from_env()
+    return ResultCache(options.cache_path(), memory=_CACHE)
+
+
+def _grid_payloads(requests: Sequence[ConfigRequest],
+                   settings: Settings) -> List[dict]:
+    payloads = []
+    for request in requests:
+        for workload in settings.workloads:
+            payloads.append(cell_payload(
+                request.preset, get_workload(workload),
+                banked=request.banked, load_ports=request.load_ports,
+                warmup_uops=settings.warmup_uops,
+                measure_uops=settings.measure_uops,
+                functional_warmup_uops=settings.functional_warmup_uops,
+                seed=settings.seed))
+    return payloads
 
 
 def run_experiment(name: str, requests: Sequence[ConfigRequest],
                    baseline_label: str,
-                   settings: Optional[Settings] = None) -> ExperimentResult:
-    """Run the grid and return the populated :class:`ExperimentResult`."""
+                   settings: Optional[Settings] = None,
+                   options: Optional[EngineOptions] = None,
+                   cache: Optional[ResultCache] = None) -> ExperimentResult:
+    """Run the grid and return the populated :class:`ExperimentResult`.
+
+    Cells already present in ``cache`` (or the process-wide memo / the
+    persistent on-disk layer when ``cache`` is omitted) are not
+    re-simulated; the rest run serially or across ``options.jobs``
+    worker processes.
+    """
     settings = settings or Settings.from_env()
+    options = options or EngineOptions.from_env()
     labels = [r.label for r in requests]
     if len(set(labels)) != len(labels):
         raise ValueError(f"duplicate series labels in experiment {name!r}")
     if baseline_label not in labels:
         raise ValueError(f"baseline {baseline_label!r} not among series")
+    cache = cache if cache is not None else shared_cache(options)
+    payloads = _grid_payloads(requests, settings)
+    stats_list = run_cells(payloads, options=options, cache=cache)
     result = ExperimentResult(name, baseline_label, settings.workloads)
+    cursor = iter(stats_list)
     for request in requests:
         for workload in settings.workloads:
-            result.add(request.label, workload,
-                       _simulate(request, workload, settings))
+            result.add(request.label, workload, next(cursor))
     return result
+
+
+def run_sweep(sweep: Sweep,
+              settings: Optional[Settings] = None,
+              options: Optional[EngineOptions] = None,
+              cache: Optional[ResultCache] = None) -> ExperimentResult:
+    """Execute a declarative :class:`Sweep` and return its result grid.
+
+    ``settings`` provides the environment-level defaults; the sweep's own
+    overrides (workloads, µop volumes, seed) win over them.
+    """
+    sweep.validate()
+    base = settings or Settings.from_env()
+    effective = base.with_sweep_overrides(sweep)
+    return run_experiment(sweep.name, list(sweep.series), sweep.baseline,
+                          settings=effective, options=options, cache=cache)

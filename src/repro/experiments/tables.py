@@ -6,8 +6,9 @@ from typing import Dict, List, Optional
 
 from repro.common.config import SimConfig
 from repro.core.presets import make_config
+from repro.experiments.engine import EngineOptions
 from repro.experiments.report import format_table
-from repro.experiments.runner import ConfigRequest, Settings, _simulate
+from repro.experiments.runner import ConfigRequest, Settings, run_experiment
 from repro.workloads.suite import SUITE
 
 
@@ -54,16 +55,20 @@ def render_table1(config: Optional[SimConfig] = None) -> str:
                         title=f"Table 1 — {cfg.name}")
 
 
-def table2(settings: Optional[Settings] = None) -> Dict[str, Dict[str, object]]:
+def table2(settings: Optional[Settings] = None,
+           options: Optional[EngineOptions] = None,
+           ) -> Dict[str, Dict[str, object]]:
     """Run Baseline_0 over the selected workloads: the Table-2 analogue.
 
     Returns ``name -> {ipc, fp, miss_rate, description}``.
     """
     settings = settings or Settings.from_env()
     request = ConfigRequest("Baseline_0", "Baseline_0", banked=False)
+    result = run_experiment("table2", [request], request.label, settings,
+                            options=options)
     out: Dict[str, Dict[str, object]] = {}
     for name in settings.workloads:
-        stats = _simulate(request, name, settings)
+        stats = result.get(request.label, name)
         out[name] = {
             "ipc": stats.ipc,
             "fp": SUITE[name].is_fp,
@@ -73,9 +78,10 @@ def table2(settings: Optional[Settings] = None) -> Dict[str, Dict[str, object]]:
     return out
 
 
-def render_table2(settings: Optional[Settings] = None) -> str:
+def render_table2(settings: Optional[Settings] = None,
+                  options: Optional[EngineOptions] = None) -> str:
     rows: List[List[str]] = []
-    data = table2(settings)
+    data = table2(settings, options=options)
     for name, row in data.items():
         rows.append([
             name, "FP" if row["fp"] else "INT", f"{row['ipc']:.3f}",

@@ -72,5 +72,13 @@ def run_config(
     workloads,
     **kwargs,
 ) -> dict:
-    """Run several workloads under one configuration; name -> RunResult."""
-    return {name: run_workload(name, config, **kwargs) for name in workloads}
+    """Run several workloads under one configuration; name -> RunResult.
+
+    Each entry of ``workloads`` may be a suite name or a
+    :class:`WorkloadSpec`, exactly as :func:`run_workload` accepts.
+    """
+    results = {}
+    for workload in workloads:
+        result = run_workload(workload, config, **kwargs)
+        results[result.workload] = result
+    return results

@@ -9,10 +9,13 @@ and deterministic: the same spec + seed yields the same µop stream.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
+
+from repro.common.serialize import dataclass_from_dict, stable_hash
 
 from repro.isa.opclass import OpClass
 from repro.isa.trace import TraceSource
@@ -61,6 +64,13 @@ class KernelSpec:
         if self.weight <= 0:
             raise ValueError("kernel weight must be positive")
 
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "KernelSpec":
+        return dataclass_from_dict(cls, data)
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -85,6 +95,21 @@ class WorkloadSpec:
     def build_trace(self, seed: Optional[int] = None) -> "WorkloadTrace":
         self.validate()
         return WorkloadTrace(self, self.seed if seed is None else seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless plain-dict encoding; inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadSpec":
+        data = dict(data)
+        data["kernels"] = tuple(
+            KernelSpec.from_dict(k) for k in data["kernels"])
+        return cls(**data)
+
+    def content_hash(self) -> str:
+        """Stable hex digest over the full spec (kernels, weights, seed)."""
+        return stable_hash(self.to_dict())
 
 
 class WorkloadTrace(TraceSource):

@@ -17,6 +17,33 @@ ADDR_REG = 2      # never written in hand traces: loads' address source
 ACC_REG = 3
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens", action="store_true", default=False,
+        help="rewrite tests/golden/goldens.json from the current "
+             "simulator instead of asserting against it")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test; deselect with -m 'not slow'")
+
+
+@pytest.fixture
+def regen_goldens(request) -> bool:
+    return bool(request.config.getoption("--regen-goldens"))
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_engine_env(monkeypatch):
+    """Keep the suite off the user's real result cache: tests must not
+    read stale entries from (or write into) ~/.cache. Tests exercising
+    the persistent layer point REPRO_CACHE_DIR at a tmp_path or pass an
+    explicit ResultCache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+
 def uop(opclass: OpClass, pc: int = 0x100, srcs: Optional[List[int]] = None,
         dst: Optional[int] = None, addr: int = 0, taken: bool = False,
         target: int = 0) -> MicroOp:

@@ -57,3 +57,29 @@ class TestCli:
         assert main(["run", "gzip", "SpecSched_4", "--measure", "1500"]) == 0
         out = capsys.readouterr().out
         assert "IPC" in out and "replayed_miss" in out
+
+    def test_parser_engine_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "5", "--jobs", "4", "--cache-dir", "/tmp/x"])
+        assert args.jobs == 4 and args.cache_dir == "/tmp/x"
+        args = build_parser().parse_args(["sweep", "grid.toml"])
+        assert args.command == "sweep" and args.file == "grid.toml"
+
+    def test_sweep_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")       # restored on teardown
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        sweep_file = tmp_path / "mini.toml"
+        sweep_file.write_text(
+            'name = "mini"\n'
+            'baseline = "Baseline_0"\n'
+            'workloads = ["gzip"]\n'
+            'warmup_uops = 400\nmeasure_uops = 1200\n'
+            'functional_warmup_uops = 4000\n\n'
+            '[[series]]\nlabel = "Baseline_0"\npreset = "Baseline_0"\n'
+            'banked = false\n\n'
+            '[[series]]\nlabel = "SpecSched_4"\npreset = "SpecSched_4"\n')
+        assert main(["sweep", str(sweep_file), "--jobs", "1",
+                     "--cache-dir", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "SpecSched_4" in out and "gmean" in out
+        assert "speedup" in out

@@ -1,0 +1,163 @@
+"""Property tests for serialization and the persistent-cache key.
+
+Two guarantees keep the on-disk cache sound:
+
+1. ``to_dict``/``from_dict`` round-trip losslessly for every preset
+   configuration, every suite workload and :class:`SimStats`;
+2. the content hash is *injective over fields*: perturbing any single
+   leaf value in a config's dict encoding changes the hash. (We walk the
+   fully nested encoding and flip every leaf one at a time — stronger
+   than spot-checking a few fields.)
+"""
+
+import itertools
+
+from repro.common.config import SimConfig
+from repro.common.serialize import canonical_json, stable_hash
+from repro.common.stats import SimStats
+from repro.core.presets import PRESET_NAMES, make_config
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suite import SUITE
+
+
+def _perturb_leaf(value):
+    """A different value of the same JSON shape."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.0
+    if isinstance(value, str):
+        return value + "_x"
+    raise TypeError(f"unexpected leaf type {type(value)!r}")
+
+
+def _leaf_paths(node, prefix=()):
+    """Yield (path, value) for every leaf in a nested dict/list."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _leaf_paths(value, prefix + (key,))
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            yield from _leaf_paths(value, prefix + (index,))
+    else:
+        yield prefix, node
+
+
+def _with_leaf(node, path, value):
+    """Deep copy of ``node`` with the leaf at ``path`` replaced."""
+    if not path:
+        return value
+    head, rest = path[0], path[1:]
+    if isinstance(node, dict):
+        out = dict(node)
+        out[head] = _with_leaf(node[head], rest, value)
+        return out
+    out = list(node)
+    out[head] = _with_leaf(node[head], rest, value)
+    return out
+
+
+class TestConfigRoundTrip:
+    def test_every_preset_round_trips(self):
+        for name in PRESET_NAMES:
+            for banked, load_ports in ((True, 2), (False, 1)):
+                config = make_config(name, banked=banked,
+                                     load_ports=load_ports)
+                rebuilt = SimConfig.from_dict(config.to_dict())
+                assert rebuilt == config, name
+                assert rebuilt.content_hash() == config.content_hash()
+                rebuilt.validate()
+
+    def test_default_config_round_trips(self):
+        config = SimConfig()
+        assert SimConfig.from_dict(config.to_dict()) == config
+
+    def test_dict_encoding_is_canonical(self):
+        one = make_config("SpecSched_4_Crit")
+        two = make_config("SpecSched_4_Crit")
+        assert canonical_json(one.to_dict()) == canonical_json(two.to_dict())
+
+
+class TestConfigHashInjectivity:
+    def test_all_presets_hash_differently(self):
+        hashes = {}
+        for name in PRESET_NAMES:
+            for banked in (True, False):
+                config = make_config(name, banked=banked)
+                digest = config.content_hash()
+                assert digest not in hashes, (name, hashes.get(digest))
+                hashes[digest] = (name, banked)
+
+    def test_any_single_field_change_changes_hash(self):
+        """Perturb every leaf of the nested encoding, one at a time."""
+        base = make_config("SpecSched_4").to_dict()
+        base_hash = stable_hash(base)
+        leaves = list(_leaf_paths(base))
+        assert len(leaves) > 60          # the whole of Table 1 is covered
+        for path, value in leaves:
+            mutated = _with_leaf(base, path, _perturb_leaf(value))
+            assert stable_hash(mutated) != base_hash, path
+
+    def test_load_ports_and_banking_distinguish(self):
+        pairs = itertools.combinations(
+            [make_config("SpecSched_4", banked=b, load_ports=p)
+             for b in (True, False) for p in (1, 2)], 2)
+        for one, two in pairs:
+            assert one.content_hash() != two.content_hash()
+
+
+class TestWorkloadSpecRoundTrip:
+    def test_every_suite_workload_round_trips(self):
+        for name, spec in SUITE.items():
+            rebuilt = WorkloadSpec.from_dict(spec.to_dict())
+            assert rebuilt == spec, name
+            assert rebuilt.content_hash() == spec.content_hash()
+            rebuilt.validate()
+
+    def test_workloads_hash_differently(self):
+        hashes = {spec.content_hash() for spec in SUITE.values()}
+        assert len(hashes) == len(SUITE)
+
+    def test_rebuilt_spec_builds_identical_trace(self):
+        spec = SUITE["xalancbmk"]
+        rebuilt = WorkloadSpec.from_dict(spec.to_dict())
+        original = spec.build_trace(3)
+        clone = rebuilt.build_trace(3)
+        for _ in range(500):
+            a, b = original.next_uop(), clone.next_uop()
+            assert (a.pc, a.opclass, tuple(a.srcs), a.dst, a.mem_addr) == \
+                   (b.pc, b.opclass, tuple(b.srcs), b.dst, b.mem_addr)
+
+
+class TestStatsRoundTrip:
+    def test_round_trip_with_extra(self):
+        stats = SimStats(cycles=123, committed_uops=456, replayed_miss=7)
+        stats.bump("custom", 9)
+        rebuilt = SimStats.from_dict(stats.to_dict())
+        assert rebuilt.to_dict() == stats.to_dict()
+        assert rebuilt.ipc == stats.ipc
+
+    def test_unknown_counter_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown SimStats"):
+            SimStats.from_dict({"cycles": 1, "not_a_counter": 2})
+
+    def test_snapshot_output_rejected(self):
+        """snapshot() mixes in derived rates (ipc, ...) — feeding it back
+        must fail loudly, not half-populate an instance."""
+        import pytest
+
+        snap = SimStats(cycles=10, committed_uops=20).snapshot()
+        with pytest.raises(ValueError, match="unknown SimStats"):
+            SimStats.from_dict(snap)
+
+    def test_json_round_trip(self):
+        import json
+
+        stats = SimStats(cycles=5, l1d_misses=2)
+        stats.bump("k", 1)
+        rebuilt = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert rebuilt.to_dict() == stats.to_dict()

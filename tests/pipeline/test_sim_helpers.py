@@ -54,6 +54,18 @@ def test_run_config_maps_names():
     assert all(r.ipc > 0 for r in results.values())
 
 
+def test_run_config_accepts_spec_objects():
+    results = run_config("Baseline_0", [SUITE["gzip"], "swim"], **TINY)
+    assert set(results) == {"gzip", "swim"}
+    assert all(r.ipc > 0 for r in results.values())
+
+
+def test_run_config_spec_matches_name():
+    by_name = run_config("SpecSched_4", ["mcf"], **TINY)
+    by_spec = run_config("SpecSched_4", [SUITE["mcf"]], **TINY)
+    assert by_name["mcf"].stats.to_dict() == by_spec["mcf"].stats.to_dict()
+
+
 def test_unknown_config_name_raises():
     with pytest.raises(ValueError):
         run_workload("gzip", "HyperSched_9000", **TINY)
