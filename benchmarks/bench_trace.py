@@ -1,0 +1,74 @@
+"""Trace subsystem micro-benchmark — replay-from-file vs generate-live.
+
+The point of the binary trace format is to take the workload generator
+off every sweep's hot path: decoding fixed-width records must outrun
+regenerating the stream from kernel specs (Markov kernel selection, rng
+draws, block assembly). This bench measures raw trace-source throughput
+(µops/s) three ways over the same stream:
+
+* **generate live** — ``WorkloadSpec.build_trace`` (status quo);
+* **replay (zlib)** — :class:`FileTrace` over the default compressed
+  encoding;
+* **replay (raw)** — :class:`FileTrace` over uncompressed records.
+
+Scale the stream with ``REPRO_MEASURE`` (the bench replays
+``25 x REPRO_MEASURE`` µops). Deselect with ``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.isa.trace import TraceSource, iterate
+from repro.traces.format import FileTrace, capture
+from repro.workloads.suite import get_workload
+
+from benchmarks.conftest import emit
+
+WORKLOAD = "xalancbmk"        # 4 kernels incl. the expensive random loads
+SEED = 7
+
+
+def _drain(source: TraceSource, limit: int) -> float:
+    start = time.perf_counter()
+    count = sum(1 for _ in iterate(source, limit))
+    elapsed = time.perf_counter() - start
+    assert count == limit, "source exhausted early"
+    return limit / elapsed
+
+
+@pytest.mark.slow
+def test_replay_vs_generate_throughput(benchmark, settings, tmp_path):
+    spec = get_workload(WORKLOAD)
+    uops = 25 * settings.measure_uops
+
+    zlib_path = tmp_path / "t.trc"
+    raw_path = tmp_path / "t-raw.trc"
+    record_start = time.perf_counter()
+    info = capture(spec.build_trace(SEED), zlib_path, uops, wp_seed=SEED,
+                   provenance={"workload": WORKLOAD})
+    record_s = time.perf_counter() - record_start
+    capture(spec.build_trace(SEED), raw_path, uops, wp_seed=SEED,
+            compress=False)
+
+    live_rate = _drain(spec.build_trace(SEED), uops)
+    raw_rate = _drain(FileTrace(raw_path), uops)
+    zlib_rate = benchmark.pedantic(
+        lambda: _drain(FileTrace(zlib_path), uops), iterations=1, rounds=1)
+
+    emit(
+        "Trace replay vs live generation",
+        f"stream: {uops} µops of {WORKLOAD!r} "
+        f"(record once: {record_s:.2f} s, "
+        f"{info.file_bytes / 1024:.0f} KB on disk, "
+        f"{info.raw_bytes / max(1, info.file_bytes):.1f}x compression)",
+        f"{'generate live':24s} {live_rate / 1e6:8.2f} Mµops/s",
+        f"{'replay (zlib frames)':24s} {zlib_rate / 1e6:8.2f} Mµops/s "
+        f"(x{zlib_rate / live_rate:.2f} vs live)",
+        f"{'replay (raw records)':24s} {raw_rate / 1e6:8.2f} Mµops/s "
+        f"(x{raw_rate / live_rate:.2f} vs live)",
+    )
+    # The subsystem's reason to exist: replay beats regeneration.
+    assert zlib_rate > live_rate

@@ -9,13 +9,18 @@ Commands:
 * ``figure {3,4,5,7,8}`` — regenerate one evaluation figure;
 * ``sweep FILE`` — execute a declarative sweep file (TOML/JSON, see
   ``examples/sweeps/``) through the parallel experiment engine;
-* ``list`` — available workloads and configuration presets.
+* ``trace record WORKLOAD`` / ``trace info FILE`` / ``trace replay FILE
+  CONFIG`` — capture a µop stream to the binary trace format, inspect a
+  recording, replay one through the simulator;
+* ``list`` — available workloads (suite, scenarios, traces) and presets.
 
-Workload selection and simulation volume follow the ``REPRO_*``
-environment variables (see :mod:`repro.experiments.runner`); the
-``--jobs`` / ``--cache-dir`` flags on ``figure``, ``table2`` and
-``sweep`` override ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` for one
-invocation.
+Workload arguments resolve through the workload registry
+(:mod:`repro.traces.registry`): suite names, scenario-spec names/files
+and recorded-trace names/files are all accepted. Workload selection and
+simulation volume follow the ``REPRO_*`` environment variables (see
+:mod:`repro.experiments.runner`); the ``--jobs`` / ``--cache-dir`` flags
+on ``figure``, ``table2`` and ``sweep`` override ``REPRO_JOBS`` /
+``REPRO_CACHE_DIR`` for one invocation.
 """
 
 from __future__ import annotations
@@ -35,7 +40,8 @@ from repro.experiments.report import (
 from repro.experiments.runner import Settings, run_sweep
 from repro.experiments.tables import render_table1, render_table2
 from repro.pipeline.sim import run_workload
-from repro.workloads.suite import SUITE
+from repro.traces import capture, default_registry, read_info, verify
+from repro.traces.registry import TraceWorkload
 
 _FIGURES = {
     "3": ("fig3", []),
@@ -56,7 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="simulate one workload/config pair")
-    run_p.add_argument("workload", choices=sorted(SUITE))
+    run_p.add_argument("workload",
+                       help="registry name or file: suite workload, "
+                            "scenario spec (.toml/.json) or trace (.trc)")
     run_p.add_argument("config", help="e.g. SpecSched_4_Crit")
     run_p.add_argument("--dual-ported", action="store_true",
                        help="ideal dual-ported L1D instead of banked")
@@ -76,6 +84,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("file", help="sweep description, e.g. "
                                       "examples/sweeps/shifting.toml")
     _add_engine_flags(sweep_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="record, inspect and replay binary µop traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    record_p = trace_sub.add_parser(
+        "record", help="capture a workload's µop stream to disk")
+    record_p.add_argument("workload",
+                          help="registry name (suite workload or scenario)")
+    record_p.add_argument("-o", "--output", default=None, metavar="FILE",
+                          help="output path (default <workload>.trc)")
+    record_p.add_argument("--uops", type=int, default=None, metavar="N",
+                          help="µops to capture (default: enough for the "
+                               "current REPRO_* volumes)")
+    record_p.add_argument("--seed", type=int, default=None,
+                          help="generator seed (default: the spec's seed)")
+    record_p.add_argument("--no-compress", action="store_true",
+                          help="store records raw instead of zlib frames")
+
+    info_p = trace_sub.add_parser("info", help="describe a trace file")
+    info_p.add_argument("file")
+    info_p.add_argument("--verify", action="store_true",
+                        help="re-scan the payload against the digest")
+
+    replay_p = trace_sub.add_parser(
+        "replay", help="simulate a recorded trace under one configuration")
+    replay_p.add_argument("file")
+    replay_p.add_argument("config", help="e.g. SpecSched_4_Crit")
+    replay_p.add_argument("--dual-ported", action="store_true")
+    replay_p.add_argument("--measure", type=int, default=None,
+                          help="measured µops (default: REPRO_MEASURE)")
 
     sub.add_parser("list", help="available workloads and presets")
     return parser
@@ -104,10 +143,7 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
     return options
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_workload(args.workload, args.config,
-                          banked=not args.dual_ported,
-                          measure_uops=args.measure)
+def _print_run(result) -> None:
     stats = result.stats
     print(f"{result.workload} under {result.config_name}:")
     for key in ("cycles", "committed_uops", "issued_total", "unique_issued",
@@ -117,6 +153,108 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  {key:22s} {getattr(stats, key)}")
     print(f"  {'IPC':22s} {stats.ipc:.3f}")
     print(f"  {'L1D miss rate':22s} {stats.l1d_miss_rate:.1%}")
+
+
+def _fail(exc: BaseException) -> int:
+    """Uniform clean-error exit for expected bad inputs (unknown names,
+    malformed scenario/trace files, undersized traces)."""
+    message = exc.args[0] if exc.args else exc
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        result = run_workload(args.workload, args.config,
+                              banked=not args.dual_ported,
+                              measure_uops=args.measure)
+    except (KeyError, OSError, ValueError) as exc:
+        return _fail(exc)
+    _print_run(result)
+    return 0
+
+
+def default_capture_uops(settings: Optional[Settings] = None) -> int:
+    """Enough µops that replay never starves at the current volumes.
+
+    The recording must cover the functional-warmup stream *and* the timed
+    stream (warmup + measure, plus the bounded fetch-ahead of µops still
+    in flight when the measured budget is reached).
+    """
+    settings = settings or Settings.from_env()
+    in_flight_margin = 8_192
+    return max(settings.functional_warmup_uops,
+               settings.warmup_uops + settings.measure_uops
+               + in_flight_margin)
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    try:
+        workload = default_registry().resolve(args.workload)
+    except (KeyError, OSError, ValueError) as exc:
+        return _fail(exc)
+    if isinstance(workload, TraceWorkload):
+        print("refusing to re-record an existing trace; record from a "
+              "suite workload or scenario spec", file=sys.stderr)
+        return 1
+    seed = args.seed if args.seed is not None else workload.seed
+    uops = args.uops if args.uops is not None else default_capture_uops()
+    output = args.output or f"{workload.name}.trc"
+    provenance = {
+        "workload": workload.name,
+        "description": workload.description,
+        "is_fp": workload.is_fp,
+        "seed": seed,
+        "source_hash": workload.content_hash(),
+    }
+    info = capture(workload.build_trace(seed), output, uops, wp_seed=seed,
+                   provenance=provenance, compress=not args.no_compress)
+    ratio = info.raw_bytes / info.file_bytes if info.file_bytes else 0.0
+    print(f"recorded {info.uop_count} µops of {workload.name!r} -> {output}")
+    print(f"  digest     {info.digest}")
+    print(f"  size       {info.file_bytes} bytes "
+          f"({ratio:.1f}x vs raw records)" if info.compressed
+          else f"  size       {info.file_bytes} bytes (uncompressed)")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    try:
+        info = read_info(args.file)
+    except (OSError, ValueError) as exc:
+        return _fail(exc)
+    print(f"{args.file}:")
+    print(f"  format     v{info.version} "
+          f"({'zlib frames' if info.compressed else 'raw records'})")
+    print(f"  µops       {info.uop_count}")
+    print(f"  digest     {info.digest}")
+    print(f"  wp_seed    {info.wp_seed}")
+    print(f"  size       {info.file_bytes} bytes "
+          f"(raw records {info.raw_bytes})")
+    for key in sorted(info.provenance):
+        print(f"  {key:10s} {info.provenance[key]}")
+    if args.verify:
+        ok = verify(args.file)
+        print(f"  payload    {'digest OK' if ok else 'DIGEST MISMATCH'}")
+        return 0 if ok else 1
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    # Volumes mirror `trace record`'s sizing: both derive from the
+    # REPRO_* environment, so a recording made "for the current volumes"
+    # replays under those same volumes (--measure still overrides).
+    settings = Settings.from_env()
+    try:
+        workload = TraceWorkload(args.file)
+        result = run_workload(
+            workload, args.config, banked=not args.dual_ported,
+            warmup_uops=settings.warmup_uops,
+            measure_uops=args.measure or settings.measure_uops,
+            functional_warmup_uops=settings.functional_warmup_uops)
+    except (OSError, ValueError) as exc:
+        return _fail(exc)
+    _print_run(result)
     return 0
 
 
@@ -146,10 +284,14 @@ def _cmd_sweep(path: str, options: EngineOptions) -> int:
 
 
 def _cmd_list() -> int:
-    print("workloads:")
-    for name, spec in SUITE.items():
-        kind = "FP " if spec.is_fp else "INT"
-        print(f"  {name:12s} [{kind}] {spec.description}")
+    registry = default_registry()
+    kinds = registry.names()
+    print("workloads (suite + scenario specs + recorded traces on the "
+          "registry search path):")
+    for name, workload in registry.entries():
+        kind = kinds.get(name, "suite")
+        klass = "FP " if workload.is_fp else "INT"
+        print(f"  {name:16s} [{klass}] ({kind}) {workload.description}")
     print("\nconfiguration presets (grammar: see repro.core.presets):")
     for name in PRESET_NAMES:
         print(f"  {name}")
@@ -171,6 +313,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args.number, _engine_options(args))
     if args.command == "sweep":
         return _cmd_sweep(args.file, _engine_options(args))
+    if args.command == "trace":
+        if args.trace_command == "record":
+            return _cmd_trace_record(args)
+        if args.trace_command == "info":
+            return _cmd_trace_info(args)
+        if args.trace_command == "replay":
+            return _cmd_trace_replay(args)
     if args.command == "list":
         return _cmd_list()
     return 1

@@ -8,7 +8,9 @@ produces the same bytes, across processes and Python versions. Hence:
 * :func:`canonical_json` — sorted keys, no whitespace, no NaN;
 * :func:`stable_hash` — sha256 over the canonical JSON;
 * :func:`dataclass_from_dict` — the inverse of :func:`dataclasses.asdict`
-  for the (nested, frozen) dataclasses used in this codebase.
+  for the (nested, frozen) dataclasses used in this codebase;
+* :func:`load_structured_file` — the one TOML/JSON file loader shared by
+  every declarative input (sweep files, scenario specs).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import hashlib
 import json
 import types
 import typing
+from pathlib import Path
 from typing import Any, Dict, Type, TypeVar
 
 T = TypeVar("T")
@@ -34,6 +37,37 @@ def canonical_json(obj: Any) -> str:
 def stable_hash(obj: Any) -> str:
     """Hex sha256 of the canonical JSON encoding of ``obj``."""
     return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def load_structured_file(path) -> Dict[str, Any]:
+    """Load a ``.toml`` or ``.json`` file into a plain dict.
+
+    The declarative inputs (sweeps, scenario specs) accept either syntax;
+    dispatch is by file suffix so error messages stay precise.
+    """
+    path = Path(path)
+    text = path.read_text()
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:          # Python < 3.11
+            try:
+                import tomli as tomllib    # type: ignore[no-redef]
+            except ImportError:
+                raise RuntimeError(
+                    f"TOML files need Python 3.11+ (tomllib) or the tomli "
+                    f"package; rewrite {path.name} as .json")
+        data = tomllib.loads(text)
+    elif suffix == ".json":
+        data = json.loads(text)
+    else:
+        raise ValueError(
+            f"unsupported file type {path.suffix!r} for {path.name} "
+            f"(expected .toml or .json)")
+    if not isinstance(data, dict):
+        raise ValueError(f"{path.name}: top level must be a table/object")
+    return data
 
 
 def _build(field_type: Any, value: Any) -> Any:

@@ -51,15 +51,22 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.serialize import stable_hash
+from repro.common.serialize import load_structured_file, stable_hash
 from repro.common.stats import SimStats
 from repro.core.presets import make_config
 from repro.pipeline.cpu import Simulator
-from repro.workloads.spec import WorkloadSpec
-from repro.workloads.suite import get_workload
+from repro.traces.registry import (
+    WorkloadLike,
+    resolve_workload,
+    workload_from_payload,
+    workload_identity,
+    workload_payload,
+)
 
 #: Bumped when the cache entry format (not the simulator) changes.
-CACHE_SCHEMA = 1
+#: 2: cell payloads carry a typed workload encoding ({kind, ...}) and
+#: trace cells key on the recording's content digest.
+CACHE_SCHEMA = 2
 
 _DISABLE_TOKENS = frozenset({"", "off", "none", "0"})
 
@@ -232,21 +239,26 @@ class ResultCache:
 # Cells and their payloads
 
 
-def cell_payload(preset: str, workload: WorkloadSpec, *,
+def cell_payload(preset: str, workload: WorkloadLike, *,
                  banked: bool = True, load_ports: int = 2,
                  warmup_uops: int, measure_uops: int,
                  functional_warmup_uops: int, seed: int) -> Dict[str, Any]:
     """Self-contained, picklable description of one simulation cell.
 
     Everything that can influence the measured counters is in here — the
-    fully resolved :class:`SimConfig`, the full workload spec, the µop
+    fully resolved :class:`SimConfig`, the full workload encoding
+    (spec/scenario dict, or trace path + content digest — so a cached
+    result can never be served against a re-recorded trace), the µop
     volumes, the seed and the code-version digest — so the payload's
-    content hash is a sound cache key.
+    content hash is a sound cache key. ``workload`` is anything the
+    workload registry hands out: a :class:`WorkloadSpec`, a
+    :class:`~repro.traces.scenario.ScenarioSpec` or a
+    :class:`~repro.traces.registry.TraceWorkload`.
     """
     config = make_config(preset, banked=banked, load_ports=load_ports)
     return {
         "config": config.to_dict(),
-        "workload": workload.to_dict(),
+        "workload": workload_payload(workload),
         "warmup_uops": warmup_uops,
         "measure_uops": measure_uops,
         "functional_warmup_uops": functional_warmup_uops,
@@ -256,8 +268,14 @@ def cell_payload(preset: str, workload: WorkloadSpec, *,
 
 
 def cell_key(payload: Dict[str, Any]) -> str:
-    """Content hash of a cell payload — the persistent-cache key."""
-    return stable_hash(payload)
+    """Content hash of a cell payload — the persistent-cache key.
+
+    Trace workloads are keyed by their recorded stream's identity
+    (content digest, wrong-path seed, length), not by file path, so the
+    same recording hits the same entries wherever it lives on disk.
+    """
+    return stable_hash(
+        {**payload, "workload": workload_identity(payload["workload"])})
 
 
 def cell_seed(payload: Dict[str, Any]) -> int:
@@ -280,15 +298,39 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     from repro.common.config import SimConfig
 
     config = SimConfig.from_dict(payload["config"]).validate()
-    spec = WorkloadSpec.from_dict(payload["workload"])
+    workload = workload_from_payload(payload["workload"])
+    required_trace_uops(payload["workload"],
+                        warmup_uops=payload["warmup_uops"],
+                        measure_uops=payload["measure_uops"])
     seed = cell_seed(payload)
-    sim = Simulator(config, spec.build_trace(seed))
+    sim = Simulator(config, workload.build_trace(seed))
     if payload["functional_warmup_uops"]:
-        sim.functional_warmup(spec.build_trace(seed),
+        sim.functional_warmup(workload.build_trace(seed),
                               payload["functional_warmup_uops"])
     stats = sim.run_with_warmup(payload["warmup_uops"],
                                 payload["measure_uops"])
     return stats.to_dict()
+
+
+def required_trace_uops(workload_data: Dict[str, Any], *,
+                        warmup_uops: int, measure_uops: int) -> None:
+    """Refuse a recorded trace too short for the timed volumes.
+
+    A trace that exhausts during warmup would measure an empty region —
+    all-zero stats that would then be cached persistently. (A trace
+    shorter than the *functional* warmup merely warms less, which ends
+    the warmup early rather than corrupting the measurement, so only the
+    timed stream is enforced.)
+    """
+    if workload_data.get("kind") != "trace":
+        return
+    needed = warmup_uops + measure_uops
+    if workload_data["uop_count"] < needed:
+        raise ValueError(
+            f"trace {workload_data.get('path', '?')} holds only "
+            f"{workload_data['uop_count']} µops but the timed run needs "
+            f"warmup+measure = {needed}; re-record with more µops "
+            f"(`repro trace record --uops N`)")
 
 
 def run_cells(payloads: Sequence[Dict[str, Any]],
@@ -378,7 +420,7 @@ class Sweep:
         for series in self.series:
             make_config(series.preset)      # fail fast on preset typos
         for workload in self.workloads or ():
-            get_workload(workload)          # fail fast on workload typos
+            resolve_workload(workload)      # fail fast on workload typos
         return self
 
     # -- construction ----------------------------------------------------
@@ -405,26 +447,7 @@ class Sweep:
     @staticmethod
     def from_file(path) -> "Sweep":
         """Load a sweep from a ``.toml`` or ``.json`` file."""
-        path = Path(path)
-        text = path.read_text()
-        if path.suffix.lower() == ".toml":
-            try:
-                import tomllib
-            except ImportError:          # Python < 3.11
-                try:
-                    import tomli as tomllib    # type: ignore[no-redef]
-                except ImportError:
-                    raise RuntimeError(
-                        "TOML sweep files need Python 3.11+ (tomllib) or "
-                        "the tomli package; rewrite the sweep as .json")
-            data = tomllib.loads(text)
-        elif path.suffix.lower() == ".json":
-            data = json.loads(text)
-        else:
-            raise ValueError(
-                f"unsupported sweep file type {path.suffix!r} "
-                f"(expected .toml or .json)")
-        return Sweep.from_dict(data)
+        return Sweep.from_dict(load_structured_file(path))
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

@@ -11,7 +11,9 @@ every sweep.
 Scale knobs come from the environment:
 
 * ``REPRO_WORKLOADS`` — ``subset`` (default, 12 diverse workloads),
-  ``full`` (all 36), or a comma-separated list of names;
+  ``full`` (all 36), or a comma-separated list of registry names (suite
+  workloads, scenario specs or recorded traces; see
+  :mod:`repro.traces.registry`);
 * ``REPRO_WARMUP`` / ``REPRO_MEASURE`` — µop counts per run (defaults
   3000/12000: small enough for CI, large enough for stable shapes);
 * ``REPRO_JOBS`` — worker processes per sweep (default 1 = serial);
@@ -35,7 +37,8 @@ from repro.experiments.engine import (
     cell_payload,
     run_cells,
 )
-from repro.workloads.suite import DEFAULT_SUBSET, SUITE, get_workload
+from repro.traces.registry import resolve_workload
+from repro.workloads.suite import DEFAULT_SUBSET, SUITE
 
 
 @dataclass(frozen=True)
@@ -58,7 +61,7 @@ class Settings:
         else:
             names = tuple(n.strip() for n in selector.split(",") if n.strip())
             for name in names:
-                get_workload(name)    # fail fast on typos
+                resolve_workload(name)    # fail fast on typos
         warmup = int(os.environ.get("REPRO_WARMUP", "3000"))
         measure = int(os.environ.get("REPRO_MEASURE", "12000"))
         fwarm = int(os.environ.get("REPRO_FUNC_WARMUP", "60000"))
@@ -193,11 +196,15 @@ def shared_cache(options: Optional[EngineOptions] = None) -> ResultCache:
 
 def _grid_payloads(requests: Sequence[ConfigRequest],
                    settings: Settings) -> List[dict]:
+    # One resolution per name, not per cell: resolving a scenario or
+    # trace name re-reads its file, and the grid repeats each workload
+    # once per preset.
+    resolved = {name: resolve_workload(name) for name in settings.workloads}
     payloads = []
     for request in requests:
         for workload in settings.workloads:
             payloads.append(cell_payload(
-                request.preset, get_workload(workload),
+                request.preset, resolved[workload],
                 banked=request.banked, load_ports=request.load_ports,
                 warmup_uops=settings.warmup_uops,
                 measure_uops=settings.measure_uops,

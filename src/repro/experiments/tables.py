@@ -9,7 +9,7 @@ from repro.core.presets import make_config
 from repro.experiments.engine import EngineOptions
 from repro.experiments.report import format_table
 from repro.experiments.runner import ConfigRequest, Settings, run_experiment
-from repro.workloads.suite import SUITE
+from repro.traces.registry import resolve_workload
 
 
 def render_table1(config: Optional[SimConfig] = None) -> str:
@@ -69,11 +69,12 @@ def table2(settings: Optional[Settings] = None,
     out: Dict[str, Dict[str, object]] = {}
     for name in settings.workloads:
         stats = result.get(request.label, name)
+        workload = resolve_workload(name)
         out[name] = {
             "ipc": stats.ipc,
-            "fp": SUITE[name].is_fp,
+            "fp": workload.is_fp,
             "l1_miss_rate": stats.l1d_miss_rate,
-            "description": SUITE[name].description,
+            "description": workload.description,
         }
     return out
 

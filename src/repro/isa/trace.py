@@ -9,10 +9,38 @@ examples.
 
 from __future__ import annotations
 
+import random
 from typing import Iterable, Iterator, List, Optional
 
 from repro.isa.opclass import OpClass
 from repro.isa.uop import MicroOp
+
+#: Mixed into wrong-path RNG seeds so the wrong-path stream is decorrelated
+#: from the correct-path generator seeded with the same value.
+WRONG_PATH_SEED_SALT = 0x5DEECE66D
+
+
+class WrongPathSynth:
+    """Seeded wrong-path µop synthesizer shared by all trace sources.
+
+    Wrong-path filler stays on the reserved architectural registers 0/1
+    (no workload generator writes them) and on 1-cycle ALU ops, but the
+    source/destination pattern varies pseudo-randomly so wrong-path
+    resource pressure is not one degenerate serial chain. The variant
+    stream is a pure function of the seed — a replayed trace reproduces
+    it exactly.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed ^ WRONG_PATH_SEED_SALT)
+
+    def synth(self, seq: int, pc: int) -> MicroOp:
+        variant = self._rng.randrange(3)
+        src = 0 if variant != 2 else 1
+        dst = 1 if variant != 1 else 0
+        return MicroOp(seq=seq, pc=pc, opclass=OpClass.INT_ALU,
+                       srcs=[src], dst=dst, wrong_path=True)
 
 
 class TraceSource:
@@ -34,13 +62,21 @@ class TraceSource:
 
 
 class ListTrace(TraceSource):
-    """A finite trace backed by a list; replays indefinitely if ``loop``."""
+    """A finite trace backed by a list; replays indefinitely if ``loop``.
 
-    def __init__(self, uops: Iterable[MicroOp], loop: bool = False) -> None:
+    Wrong-path synthesis is seeded per source (``wp_seed``) rather than
+    inheriting the base class's constant filler, so two traces do not
+    produce one identical degenerate wrong-path chain.
+    """
+
+    def __init__(self, uops: Iterable[MicroOp], loop: bool = False,
+                 wp_seed: int = 0) -> None:
         self._uops: List[MicroOp] = list(uops)
         self._pos = 0
         self._loop = loop
         self._seq = 0
+        self._wp_seed = wp_seed
+        self._synth = WrongPathSynth(wp_seed)
 
     def __len__(self) -> int:
         return len(self._uops)
@@ -56,9 +92,13 @@ class ListTrace(TraceSource):
         self._seq += 1
         return uop
 
+    def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
+        return self._synth.synth(seq, pc)
+
     def reset(self) -> None:
         self._pos = 0
         self._seq = 0
+        self._synth = WrongPathSynth(self._wp_seed)
 
 
 def iterate(source: TraceSource, limit: int) -> Iterator[MicroOp]:

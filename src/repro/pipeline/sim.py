@@ -15,8 +15,8 @@ from repro.common.config import SimConfig
 from repro.common.stats import SimStats
 from repro.core.presets import make_config
 from repro.pipeline.cpu import Simulator
+from repro.traces.registry import TraceWorkload, resolve_workload
 from repro.workloads.spec import WorkloadSpec
-from repro.workloads.suite import get_workload
 
 DEFAULT_WARMUP_UOPS = 3_000
 DEFAULT_MEASURE_UOPS = 20_000
@@ -54,8 +54,18 @@ def run_workload(
 
     ``config`` may be a preset name ("SpecSched_4_Crit") or a full
     :class:`SimConfig`; ``banked`` only applies when a name is given.
+    ``workload`` may be a suite name, any other workload-registry name or
+    path (scenario spec, recorded trace), or a workload object.
     """
-    spec = get_workload(workload) if isinstance(workload, str) else workload
+    spec = resolve_workload(workload)
+    if isinstance(spec, TraceWorkload):
+        needed = warmup_uops + measure_uops
+        if spec.info.uop_count < needed:
+            raise ValueError(
+                f"trace {spec.path} holds only {spec.info.uop_count} µops "
+                f"but the timed run needs warmup+measure = {needed}; "
+                f"re-record with more µops (`repro trace record --uops N`) "
+                f"or lower the volumes")
     if isinstance(config, str):
         config = make_config(config, banked=banked)
     trace = spec.build_trace(seed)

@@ -1,0 +1,67 @@
+"""Trace subsystem: binary capture/replay, scenario specs, the registry.
+
+Three layers (see the module docstrings for the details):
+
+* :mod:`repro.traces.format` — the versioned binary on-disk µop-stream
+  encoding, its streaming reader/writer, :func:`capture` and
+  :class:`FileTrace` replay;
+* :mod:`repro.traces.scenario` — declarative :class:`ScenarioSpec`
+  behavioural classes compiled into deterministic seeded trace sources;
+* :mod:`repro.traces.registry` — the single namespace through which the
+  engine, CLI, figures and benchmarks resolve kernel suites, scenario
+  specs and recorded traces uniformly.
+"""
+
+from repro.traces.format import (
+    FileTrace,
+    TRACE_SUFFIX,
+    TraceFormatError,
+    TraceInfo,
+    TraceWriter,
+    capture,
+    read_info,
+    read_uops,
+    verify,
+)
+from repro.traces.registry import (
+    TraceWorkload,
+    WorkloadRegistry,
+    default_registry,
+    resolve_workload,
+    workload_from_payload,
+    workload_identity,
+    workload_payload,
+)
+from repro.traces.scenario import (
+    BranchModel,
+    DepModel,
+    MemoryModel,
+    MixState,
+    ScenarioSpec,
+    ScenarioTrace,
+)
+
+__all__ = [
+    "BranchModel",
+    "DepModel",
+    "FileTrace",
+    "MemoryModel",
+    "MixState",
+    "ScenarioSpec",
+    "ScenarioTrace",
+    "TRACE_SUFFIX",
+    "TraceFormatError",
+    "TraceInfo",
+    "TraceWorkload",
+    "TraceWriter",
+    "WorkloadRegistry",
+    "capture",
+    "default_registry",
+    "read_info",
+    "read_uops",
+    "resolve_workload",
+    "verify",
+    "workload_from_payload",
+    "workload_identity",
+    "workload_payload",
+]

@@ -1,0 +1,384 @@
+"""Binary µop-trace format: capture once, replay many.
+
+Every sweep the experiment engine fans out re-simulates the *same*
+correct-path µop stream under different backends. Regenerating that
+stream from kernel specs puts the workload generator on the hot path of
+every cell; this module takes it off: a stream is captured to a compact,
+versioned on-disk encoding once and replayed from disk thereafter —
+bit-identically, including the synthesized wrong path.
+
+Layout of a ``.trc`` file::
+
+    header (64 bytes, fixed):
+        magic        4s   b"RPTR"
+        version      u16  FORMAT_VERSION
+        flags        u16  bit 0: frames are zlib-compressed
+        uop_count    u64  total records (patched on close)
+        digest       32s  sha256 over the *raw* record bytes (patched)
+        meta_len     u32  length of the meta JSON that follows
+        reserved     12s
+    meta JSON (meta_len bytes):
+        {"record": 1, "wp_seed": ..., "provenance": {...}}
+    frames, each:
+        raw_len      u32  uncompressed byte length
+        stored_len   u32  on-disk byte length
+        payload           raw or zlib-compressed records
+
+Records are fixed-width (:data:`RECORD`, 36 bytes) and carry exactly the
+*architectural* :class:`~repro.isa.uop.MicroOp` fields — the pipeline
+annotates everything else at runtime, and ``seq`` is assigned by fetch.
+The content digest is computed over the uncompressed records, so it
+identifies the µop stream independent of compression, and it is the
+ingredient the engine folds into its cache keys: a cached result can
+never be served against a re-recorded trace.
+
+Wrong-path µops are *not* recorded (trace-driven simulation synthesizes
+them); the header's ``wp_seed`` seeds the same
+:class:`~repro.isa.trace.WrongPathSynth` stream the live generator used,
+which is what makes replayed ``SimStats`` bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.isa.opclass import OpClass
+from repro.isa.trace import TraceSource, WrongPathSynth
+from repro.isa.uop import MicroOp
+
+MAGIC = b"RPTR"
+FORMAT_VERSION = 1
+RECORD_VERSION = 1
+FLAG_ZLIB = 0x1
+
+#: Canonical file suffix for recorded traces.
+TRACE_SUFFIX = ".trc"
+
+HEADER = struct.Struct("<4sHHQ32sI12s")
+FRAME_HEADER = struct.Struct("<II")
+
+#: pc, mem_addr, target, src0..src2, dst, opclass, flags, mem_size.
+#: Absent registers are encoded as -1; flag bit 0 is the branch outcome.
+RECORD = struct.Struct("<QQQhhhhBBH")
+
+_FLAG_TAKEN = 0x1
+
+#: Value -> OpClass member without the (slow) enum constructor — decode
+#: runs once per replayed µop, squarely on the replay hot path.
+_OPCLASS_BY_VALUE = tuple(OpClass(v) for v in range(len(OpClass)))
+
+#: Records per frame: large enough to amortize the zlib/frame overhead,
+#: small enough that replay never holds more than ~150 KB decoded.
+DEFAULT_FRAME_RECORDS = 4096
+
+
+class TraceFormatError(ValueError):
+    """Malformed, truncated or incompatible trace file."""
+
+
+# ---------------------------------------------------------------------------
+# Record encoding
+
+
+def encode_record(uop: MicroOp) -> bytes:
+    """Fixed-width encoding of one correct-path µop's architectural fields."""
+    srcs = uop.srcs
+    if len(srcs) > 3:
+        raise TraceFormatError(
+            f"µop at pc={uop.pc:#x} has {len(srcs)} sources; the record "
+            f"format encodes at most 3")
+    if uop.wrong_path:
+        raise TraceFormatError(
+            "wrong-path µops are synthesized at replay, not recorded")
+    s0 = srcs[0] if len(srcs) > 0 else -1
+    s1 = srcs[1] if len(srcs) > 1 else -1
+    s2 = srcs[2] if len(srcs) > 2 else -1
+    dst = uop.dst if uop.dst is not None else -1
+    flags = _FLAG_TAKEN if uop.taken else 0
+    return RECORD.pack(uop.pc, uop.mem_addr, uop.target, s0, s1, s2,
+                       dst, int(uop.opclass), flags, uop.mem_size)
+
+
+def decode_record(fields) -> MicroOp:
+    """Inverse of :func:`encode_record` (``fields`` = unpacked tuple)."""
+    pc, mem_addr, target, s0, s1, s2, dst, opclass, flags, mem_size = fields
+    srcs: List[int] = []
+    if s0 >= 0:
+        srcs.append(s0)
+        if s1 >= 0:
+            srcs.append(s1)
+            if s2 >= 0:
+                srcs.append(s2)
+    return MicroOp(seq=0, pc=pc, opclass=_OPCLASS_BY_VALUE[opclass],
+                   srcs=srcs, dst=dst if dst >= 0 else None,
+                   mem_addr=mem_addr, mem_size=mem_size,
+                   taken=bool(flags & _FLAG_TAKEN), target=target)
+
+
+# ---------------------------------------------------------------------------
+# Header / info
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceInfo:
+    """Everything knowable about a trace without scanning its payload."""
+
+    path: str
+    version: int
+    compressed: bool
+    uop_count: int
+    digest: str                     # hex sha256 over raw record bytes
+    wp_seed: int
+    provenance: Dict[str, Any]
+    file_bytes: int
+
+    @property
+    def raw_bytes(self) -> int:
+        """Uncompressed payload size."""
+        return self.uop_count * RECORD.size
+
+
+def _read_exact(handle, n: int, what: str) -> bytes:
+    data = handle.read(n)
+    if len(data) != n:
+        raise TraceFormatError(f"truncated trace file: short read in {what}")
+    return data
+
+
+def _read_header(handle, path: Path):
+    raw = handle.read(HEADER.size)
+    if len(raw) != HEADER.size:
+        raise TraceFormatError(f"{path.name}: not a trace file (too short)")
+    magic, version, flags, count, digest, meta_len, _ = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise TraceFormatError(f"{path.name}: bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path.name}: format version {version} (this build reads "
+            f"{FORMAT_VERSION})")
+    try:
+        meta = json.loads(_read_exact(handle, meta_len, "meta"))
+    except ValueError as exc:
+        raise TraceFormatError(f"{path.name}: corrupt meta JSON") from exc
+    if meta.get("record") != RECORD_VERSION:
+        raise TraceFormatError(
+            f"{path.name}: record layout {meta.get('record')} (this build "
+            f"reads {RECORD_VERSION})")
+    return flags, count, digest, meta
+
+
+def read_info(path) -> TraceInfo:
+    """Parse the header and meta of a trace file (no payload scan)."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        flags, count, digest, meta = _read_header(handle, path)
+    return TraceInfo(
+        path=str(path),
+        version=FORMAT_VERSION,
+        compressed=bool(flags & FLAG_ZLIB),
+        uop_count=count,
+        digest=digest.hex(),
+        wp_seed=int(meta.get("wp_seed", 0)),
+        provenance=dict(meta.get("provenance") or {}),
+        file_bytes=path.stat().st_size,
+    )
+
+
+def verify(path) -> bool:
+    """Full-scan check: recompute the payload digest against the header."""
+    path = Path(path)
+    info = read_info(path)
+    sha = hashlib.sha256()
+    count = 0
+    try:
+        for raw in _iter_frames(path):
+            sha.update(raw)
+            count += len(raw) // RECORD.size
+    except TraceFormatError:
+        return False
+    return count == info.uop_count and sha.hexdigest() == info.digest
+
+
+# ---------------------------------------------------------------------------
+# Writing
+
+
+class TraceWriter:
+    """Streaming writer: append µops, close to patch count + digest."""
+
+    def __init__(self, path, *, wp_seed: int,
+                 provenance: Optional[Dict[str, Any]] = None,
+                 compress: bool = True,
+                 frame_records: int = DEFAULT_FRAME_RECORDS) -> None:
+        self.path = Path(path)
+        self.wp_seed = wp_seed
+        self.compress = compress
+        self.frame_records = max(1, frame_records)
+        self.count = 0
+        self._sha = hashlib.sha256()
+        self._frame: List[bytes] = []
+        self._closed = False
+        meta = json.dumps(
+            {"record": RECORD_VERSION, "wp_seed": wp_seed,
+             "provenance": provenance or {}},
+            sort_keys=True).encode("utf-8")
+        self._handle = self.path.open("wb")
+        flags = FLAG_ZLIB if compress else 0
+        self._handle.write(HEADER.pack(MAGIC, FORMAT_VERSION, flags, 0,
+                                       b"\0" * 32, len(meta), b"\0" * 12))
+        self._handle.write(meta)
+
+    def append(self, uop: MicroOp) -> None:
+        record = encode_record(uop)
+        self._sha.update(record)
+        self._frame.append(record)
+        self.count += 1
+        if len(self._frame) >= self.frame_records:
+            self._flush_frame()
+
+    def _flush_frame(self) -> None:
+        if not self._frame:
+            return
+        raw = b"".join(self._frame)
+        self._frame.clear()
+        stored = zlib.compress(raw, 6) if self.compress else raw
+        self._handle.write(FRAME_HEADER.pack(len(raw), len(stored)))
+        self._handle.write(stored)
+
+    def close(self) -> TraceInfo:
+        if self._closed:
+            return read_info(self.path)
+        self._flush_frame()
+        digest = self._sha.digest()
+        self._handle.seek(8)             # past magic/version/flags
+        self._handle.write(struct.pack("<Q32s", self.count, digest))
+        self._handle.close()
+        self._closed = True
+        return read_info(self.path)
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:                            # leave no half-written file behind
+            self._handle.close()
+            self._closed = True
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+
+def capture(source: TraceSource, path, limit: int, *, wp_seed: int,
+            provenance: Optional[Dict[str, Any]] = None,
+            compress: bool = True,
+            frame_records: int = DEFAULT_FRAME_RECORDS) -> TraceInfo:
+    """Pull up to ``limit`` correct-path µops from ``source`` to disk.
+
+    ``wp_seed`` must be the seed whose :class:`WrongPathSynth` stream the
+    source uses, so replay reproduces the wrong path exactly; for
+    workload/scenario traces that is the build seed.
+    """
+    with TraceWriter(path, wp_seed=wp_seed, provenance=provenance,
+                     compress=compress, frame_records=frame_records) as out:
+        for _ in range(limit):
+            uop = source.next_uop()
+            if uop is None:
+                break
+            out.append(uop)
+    return read_info(path)
+
+
+# ---------------------------------------------------------------------------
+# Reading / replay
+
+
+def _iter_frames(path: Path) -> Iterator[bytes]:
+    """Yield each frame's raw (decompressed) record bytes."""
+    with path.open("rb") as handle:
+        flags, _, _, _ = _read_header(handle, path)
+        compressed = bool(flags & FLAG_ZLIB)
+        while True:
+            frame_header = handle.read(FRAME_HEADER.size)
+            if not frame_header:
+                return
+            if len(frame_header) != FRAME_HEADER.size:
+                raise TraceFormatError(
+                    f"{path.name}: truncated frame header")
+            raw_len, stored_len = FRAME_HEADER.unpack(frame_header)
+            stored = _read_exact(handle, stored_len, "frame payload")
+            if compressed:
+                try:
+                    raw = zlib.decompress(stored)
+                except zlib.error as exc:
+                    raise TraceFormatError(
+                        f"{path.name}: corrupt frame") from exc
+            else:
+                raw = stored
+            if len(raw) != raw_len or raw_len % RECORD.size:
+                raise TraceFormatError(
+                    f"{path.name}: frame length mismatch")
+            yield raw
+
+
+def read_uops(path, limit: Optional[int] = None) -> Iterator[MicroOp]:
+    """Stream decoded µops from a trace file."""
+    emitted = 0
+    for raw in _iter_frames(Path(path)):
+        for fields in RECORD.iter_unpack(raw):
+            if limit is not None and emitted >= limit:
+                return
+            yield decode_record(fields)
+            emitted += 1
+
+
+class FileTrace(TraceSource):
+    """Replay a recorded trace as a :class:`TraceSource`.
+
+    Frames are decoded lazily one at a time, so replay is streaming (a
+    few hundred KB resident regardless of trace length). Wrong-path µops
+    come from the header-seeded :class:`WrongPathSynth` — the same stream
+    the live generator produced, which is what keeps replayed ``SimStats``
+    bit-identical to generate-live runs.
+    """
+
+    def __init__(self, path, loop: bool = False) -> None:
+        self.path = Path(path)
+        self.info = read_info(self.path)
+        self._loop = loop
+        self._synth = WrongPathSynth(self.info.wp_seed)
+        self._frames = _iter_frames(self.path)
+        self._records: Iterator[tuple] = iter(())
+        self.replayed = 0
+
+    # -- TraceSource ---------------------------------------------------
+
+    def next_uop(self) -> Optional[MicroOp]:
+        while True:
+            for fields in self._records:
+                self.replayed += 1
+                return decode_record(fields)
+            frame = next(self._frames, None)
+            if frame is None:
+                if not self._loop or not self.info.uop_count:
+                    return None
+                self._frames = _iter_frames(self.path)
+                continue
+            self._records = RECORD.iter_unpack(frame)
+
+    def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
+        return self._synth.synth(seq, pc)
+
+    def reset(self) -> None:
+        self._synth = WrongPathSynth(self.info.wp_seed)
+        self._frames = _iter_frames(self.path)
+        self._records = iter(())
+        self.replayed = 0

@@ -1,0 +1,248 @@
+"""The workload registry: one namespace for suites, scenarios and traces.
+
+Everything that consumes workloads — ``repro run``/``repro sweep``, the
+experiment engine, figures/tables, benchmarks — resolves them here, so a
+new behavioural class is addressable end-to-end by name the moment its
+file exists. Three kinds resolve uniformly:
+
+* **suite** — the built-in Table-2 :class:`~repro.workloads.spec.WorkloadSpec`
+  entries ("mcf", "xalancbmk", ...);
+* **scenario** — declarative :class:`~repro.traces.scenario.ScenarioSpec`
+  files (``.toml``/``.json``), discovered on the search path or given as
+  explicit paths;
+* **trace** — recorded binary traces (``.trc``), wrapped in
+  :class:`TraceWorkload`.
+
+The search path is ``REPRO_WORKLOAD_PATH`` (``os.pathsep``-separated
+directories) followed by ``examples/scenarios`` relative to the current
+directory. Names containing a path separator or a recognized suffix
+bypass the search and load directly.
+
+All three kinds satisfy one protocol — ``name``, ``description``,
+``is_fp``, ``build_trace(seed)``, ``content_hash()`` — and
+:func:`workload_payload` / :func:`workload_from_payload` give them one
+self-contained, picklable cell-payload encoding for the engine. A trace
+workload's payload embeds the trace's content digest, so engine cache
+keys can never match a re-recorded trace.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.common.serialize import stable_hash
+from repro.traces.format import FileTrace, TRACE_SUFFIX, TraceInfo, read_info
+from repro.traces.scenario import ScenarioSpec
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suite import SUITE
+
+_SCENARIO_SUFFIXES = (".toml", ".json")
+
+#: Union of everything the registry hands out.
+WorkloadLike = Union[WorkloadSpec, ScenarioSpec, "TraceWorkload"]
+
+
+class TraceWorkload:
+    """A recorded trace file presented through the workload protocol.
+
+    ``build_trace`` ignores the caller's seed: the stream (and its
+    wrong-path seed) were fixed at record time. The trace's content
+    digest doubles as the identity the engine hashes, and it is
+    re-checked against the file header at build time so a silently
+    swapped file fails loudly instead of polluting results.
+    """
+
+    def __init__(self, path, info: Optional[TraceInfo] = None,
+                 name: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.info = info if info is not None else read_info(self.path)
+        self.name = name or self.info.provenance.get(
+            "workload", self.path.stem)
+        self.digest = self.info.digest
+
+    @property
+    def description(self) -> str:
+        base = self.info.provenance.get("description", "")
+        suffix = f"recorded trace ({self.info.uop_count} µops)"
+        return f"{base} [{suffix}]" if base else suffix
+
+    @property
+    def is_fp(self) -> bool:
+        return bool(self.info.provenance.get("is_fp", False))
+
+    def build_trace(self, seed: Optional[int] = None) -> FileTrace:
+        trace = FileTrace(self.path)
+        if trace.info.digest != self.digest:
+            raise ValueError(
+                f"trace {self.path} was re-recorded (digest "
+                f"{trace.info.digest[:12]}… != expected "
+                f"{self.digest[:12]}…); re-resolve the workload")
+        return trace
+
+    def content_hash(self) -> str:
+        """Identity of the recorded stream, not of the file location."""
+        return stable_hash({"kind": "trace", "digest": self.digest,
+                            "wp_seed": self.info.wp_seed})
+
+
+# ---------------------------------------------------------------------------
+# Cell-payload encoding (used by repro.experiments.engine)
+
+
+def workload_payload(workload: WorkloadLike) -> Dict[str, Any]:
+    """Self-contained plain-dict encoding of any registry workload."""
+    if isinstance(workload, WorkloadSpec):
+        return {"kind": "spec", "spec": workload.to_dict()}
+    if isinstance(workload, ScenarioSpec):
+        return {"kind": "scenario", "spec": workload.to_dict()}
+    if isinstance(workload, TraceWorkload):
+        return {"kind": "trace", "name": workload.name,
+                "path": str(workload.path), "digest": workload.digest,
+                "wp_seed": workload.info.wp_seed,
+                "uop_count": workload.info.uop_count}
+    raise TypeError(f"not a registry workload: {type(workload).__name__}")
+
+
+def workload_identity(data: Dict[str, Any]) -> Dict[str, Any]:
+    """The hash-relevant view of a workload payload.
+
+    For spec/scenario payloads that is the payload itself; for traces the
+    file location and display name are dropped so the cache key depends
+    only on the recorded stream (digest + wrong-path seed + length) — the
+    same recording at two paths, or on two machines sharing a cache,
+    hits the same entries.
+    """
+    if data.get("kind") == "trace":
+        return {"kind": "trace", "digest": data["digest"],
+                "wp_seed": data["wp_seed"], "uop_count": data["uop_count"]}
+    return data
+
+
+def workload_from_payload(data: Dict[str, Any]) -> WorkloadLike:
+    """Inverse of :func:`workload_payload` (runs in engine workers)."""
+    kind = data.get("kind", "spec")
+    if kind == "spec":
+        return WorkloadSpec.from_dict(data.get("spec", data))
+    if kind == "scenario":
+        return ScenarioSpec.from_dict(data["spec"])
+    if kind == "trace":
+        workload = TraceWorkload(data["path"], name=data.get("name"))
+        if workload.digest != data["digest"]:
+            raise ValueError(
+                f"trace {data['path']} changed since the cell was built "
+                f"(digest mismatch)")
+        return workload
+    raise ValueError(f"unknown workload payload kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# The registry
+
+
+class WorkloadRegistry:
+    """Name -> workload resolution over the suite, files and registrations."""
+
+    def __init__(self,
+                 search_paths: Optional[Sequence[Union[str, Path]]] = None
+                 ) -> None:
+        if search_paths is None:
+            search_paths = [
+                entry for entry in os.environ.get(
+                    "REPRO_WORKLOAD_PATH", "").split(os.pathsep) if entry]
+            search_paths.append("examples/scenarios")
+        self.search_paths = [Path(p) for p in search_paths]
+        self._registered: Dict[str, WorkloadLike] = {}
+
+    # -- programmatic entries -------------------------------------------
+
+    def register(self, workload: WorkloadLike,
+                 name: Optional[str] = None) -> WorkloadLike:
+        self._registered[name or workload.name] = workload
+        return workload
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve(self, name: Union[str, Path, WorkloadLike]) -> WorkloadLike:
+        """Resolve a workload by suite name, registered name, file name on
+        the search path, or explicit path. Workload objects pass through."""
+        if not isinstance(name, (str, Path)):
+            return name
+        text = str(name)
+        path = Path(text)
+        if os.sep in text or path.suffix.lower() in (
+                _SCENARIO_SUFFIXES + (TRACE_SUFFIX,)):
+            if not path.exists():
+                raise KeyError(f"workload file {text!r} does not exist")
+            return self._load_file(path)
+        if text in SUITE:
+            return SUITE[text]
+        if text in self._registered:
+            return self._registered[text]
+        for directory in self.search_paths:
+            for suffix in _SCENARIO_SUFFIXES + (TRACE_SUFFIX,):
+                candidate = directory / f"{text}{suffix}"
+                if candidate.exists():
+                    return self._load_file(candidate)
+        raise KeyError(
+            f"unknown workload {text!r}; available: "
+            f"{', '.join(sorted(self.names()))}")
+
+    @staticmethod
+    def _load_file(path: Path) -> WorkloadLike:
+        suffix = path.suffix.lower()
+        if suffix in _SCENARIO_SUFFIXES:
+            return ScenarioSpec.from_file(path)
+        if suffix == TRACE_SUFFIX:
+            return TraceWorkload(path)
+        raise KeyError(f"unsupported workload file type {path.suffix!r}")
+
+    # -- enumeration -----------------------------------------------------
+
+    def names(self) -> Dict[str, str]:
+        """name -> kind for everything currently addressable by bare name."""
+        out: Dict[str, str] = {name: "suite" for name in SUITE}
+        for name, workload in self._registered.items():
+            out.setdefault(name, _kind_of(workload))
+        for directory in self.search_paths:
+            if not directory.is_dir():
+                continue
+            for entry in sorted(directory.iterdir()):
+                suffix = entry.suffix.lower()
+                if suffix in _SCENARIO_SUFFIXES:
+                    out.setdefault(entry.stem, "scenario")
+                elif suffix == TRACE_SUFFIX:
+                    out.setdefault(entry.stem, "trace")
+        return out
+
+    def entries(self) -> List[tuple]:
+        """``(registry name, resolved workload)`` for every addressable
+        name, skipping unreadable files."""
+        resolved = []
+        for name in sorted(self.names()):
+            try:
+                resolved.append((name, self.resolve(name)))
+            except (KeyError, ValueError, OSError):
+                continue
+        return resolved
+
+
+def _kind_of(workload: WorkloadLike) -> str:
+    if isinstance(workload, WorkloadSpec):
+        return "suite"
+    if isinstance(workload, ScenarioSpec):
+        return "scenario"
+    return "trace"
+
+
+#: Default registry used by the CLI, the runner and the engine. Built
+#: per call so ``REPRO_WORKLOAD_PATH`` changes (tests, notebooks) take
+#: effect without process restarts; construction is cheap (no I/O).
+def default_registry() -> WorkloadRegistry:
+    return WorkloadRegistry()
+
+
+def resolve_workload(name: Union[str, Path, WorkloadLike]) -> WorkloadLike:
+    """Module-level convenience: resolve against a fresh default registry."""
+    return default_registry().resolve(name)

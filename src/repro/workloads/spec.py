@@ -17,8 +17,7 @@ from typing import Deque, Dict, List, Optional
 
 from repro.common.serialize import dataclass_from_dict, stable_hash
 
-from repro.isa.opclass import OpClass
-from repro.isa.trace import TraceSource
+from repro.isa.trace import TraceSource, WrongPathSynth
 from repro.isa.uop import MicroOp
 from repro.workloads.kernels import (
     BankConflictKernel,
@@ -118,7 +117,7 @@ class WorkloadTrace(TraceSource):
     def __init__(self, spec: WorkloadSpec, seed: int) -> None:
         self.spec = spec
         self.rng = random.Random(seed)
-        self._wp_rng = random.Random(seed ^ 0x5DEECE66D)
+        self._wp_synth = WrongPathSynth(seed)
         self.kernels: List[Kernel] = []
         self.weights: List[float] = []
         for i, kspec in enumerate(spec.kernels):
@@ -149,8 +148,4 @@ class WorkloadTrace(TraceSource):
 
     def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
         """ALU-only wrong-path filler over the reserved registers."""
-        variant = self._wp_rng.randrange(3)
-        src = 0 if variant != 2 else 1
-        dst = 1 if variant != 1 else 0
-        return MicroOp(seq=seq, pc=pc, opclass=OpClass.INT_ALU,
-                       srcs=[src], dst=dst, wrong_path=True)
+        return self._wp_synth.synth(seq, pc)

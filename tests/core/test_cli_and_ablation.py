@@ -40,8 +40,9 @@ class TestCli:
             assert args.command == argv[0]
 
     def test_unknown_workload_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "quake3", "SpecSched_4"])
+        # Workload validation happens in the registry (names may be
+        # scenario/trace files), not in argparse: clean error, exit 2.
+        assert main(["run", "quake3", "SpecSched_4"]) == 2
 
     def test_table1_command(self, capsys):
         assert main(["table1"]) == 0
@@ -83,3 +84,73 @@ class TestCli:
         out = capsys.readouterr().out
         assert "SpecSched_4" in out and "gmean" in out
         assert "speedup" in out
+
+
+class TestTraceCli:
+    def test_record_info_replay_roundtrip(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_WARMUP", "300")
+        monkeypatch.setenv("REPRO_MEASURE", "1200")
+        monkeypatch.setenv("REPRO_FUNC_WARMUP", "2000")
+        assert main(["trace", "record", "gzip", "-o", "g.trc"]) == 0
+        assert main(["trace", "info", "g.trc", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "digest OK" in out and "wp_seed" in out
+        assert main(["trace", "replay", "g.trc", "SpecSched_4",
+                     "--measure", "1200"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_info_missing_file_clean_error(self, capsys):
+        assert main(["trace", "info", "no-such.trc"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_missing_file_clean_error(self, capsys):
+        assert main(["trace", "replay", "no-such.trc", "SpecSched_4"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_undersized_trace_clean_error(self, tmp_path, capsys,
+                                                 monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "record", "gzip", "-o", "tiny.trc",
+                     "--uops", "200"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "replay", "tiny.trc", "SpecSched_4"]) == 2
+        assert "re-record" in capsys.readouterr().err
+
+    def test_record_unknown_workload_clean_error(self, capsys):
+        assert main(["trace", "record", "quake3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_corrupt_trace_clean_error(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.trc"
+        bad.write_bytes(b"RPTR not a real trace")
+        assert main(["run", str(bad), "SpecSched_4"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_bad_scenario_knob_clean_error(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "s.toml").write_text(
+            'name = "s"\n[deps]\nbogus_knob = 3\n'
+            '[[mix]]\nname = "a"\nop = "alu"\nnext = { a = 1.0 }\n')
+        assert main(["run", "s.toml", "SpecSched_4"]) == 2
+        assert "unknown [deps] fields" in capsys.readouterr().err
+
+    def test_replay_defaults_follow_env_volumes(self, tmp_path, capsys,
+                                                monkeypatch):
+        # A recording auto-sized for the current REPRO_* volumes must
+        # replay under those same volumes with no extra flags.
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_WARMUP", "300")
+        monkeypatch.setenv("REPRO_MEASURE", "1200")
+        monkeypatch.setenv("REPRO_FUNC_WARMUP", "2000")
+        assert main(["trace", "record", "gzip", "-o", "g.trc"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "replay", "g.trc", "SpecSched_4"]) == 0
+        out = capsys.readouterr().out
+        committed = int(out.split("committed_uops")[1].split()[0])
+        # The REPRO_MEASURE=1200 budget, give or take one retire group.
+        assert 1200 <= committed < 1300

@@ -261,7 +261,7 @@ class TestSweep:
     def test_unsupported_suffix(self, tmp_path):
         path = tmp_path / "mini.yaml"
         path.write_text("nope")
-        with pytest.raises(ValueError, match="unsupported sweep file"):
+        with pytest.raises(ValueError, match="unsupported file type"):
             Sweep.from_file(path)
 
     def test_validation_failures(self):

@@ -63,3 +63,37 @@ def test_default_wrong_path_uop_is_alu():
     assert wp.wrong_path
     assert wp.opclass == OpClass.INT_ALU
     assert wp.pc == 0xDEAD
+
+
+def test_list_trace_wrong_path_has_seeded_variety():
+    # ListTrace must not share the base class's constant filler: the
+    # (srcs, dst) pattern varies, but only over the reserved registers.
+    t = ListTrace(_uops(3))
+    wps = [t.wrong_path_uop(0, 0x1000 + i) for i in range(64)]
+    assert all(w.wrong_path and w.opclass == OpClass.INT_ALU for w in wps)
+    assert all(set(w.srcs) | {w.dst} <= {0, 1} for w in wps)
+    assert len({(tuple(w.srcs), w.dst) for w in wps}) > 1
+
+
+def test_list_trace_wrong_path_deterministic_per_seed():
+    a = ListTrace(_uops(3), wp_seed=9)
+    b = ListTrace(_uops(3), wp_seed=9)
+    c = ListTrace(_uops(3), wp_seed=10)
+    pa = [(tuple(u.srcs), u.dst) for u in
+          (a.wrong_path_uop(0, i) for i in range(32))]
+    pb = [(tuple(u.srcs), u.dst) for u in
+          (b.wrong_path_uop(0, i) for i in range(32))]
+    pc = [(tuple(u.srcs), u.dst) for u in
+          (c.wrong_path_uop(0, i) for i in range(32))]
+    assert pa == pb
+    assert pa != pc
+
+
+def test_list_trace_reset_restarts_wrong_path_stream():
+    t = ListTrace(_uops(3), wp_seed=5)
+    first = [(tuple(u.srcs), u.dst) for u in
+             (t.wrong_path_uop(0, i) for i in range(16))]
+    t.reset()
+    again = [(tuple(u.srcs), u.dst) for u in
+             (t.wrong_path_uop(0, i) for i in range(16))]
+    assert first == again

@@ -1,0 +1,247 @@
+"""Binary trace format: encoding, header, digests, corruption handling."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.opclass import OpClass
+from repro.isa.trace import ListTrace, iterate
+from repro.isa.uop import MicroOp
+from repro.traces.format import (
+    FLAG_ZLIB,
+    FileTrace,
+    HEADER,
+    RECORD,
+    TraceFormatError,
+    TraceWriter,
+    capture,
+    decode_record,
+    encode_record,
+    read_info,
+    read_uops,
+    verify,
+)
+
+ARCH_FIELDS = ("pc", "opclass", "srcs", "dst", "mem_addr", "mem_size",
+               "taken", "target")
+
+
+def arch(uop):
+    return tuple(getattr(uop, name) for name in ARCH_FIELDS)
+
+
+def _mixed_uops(n=100):
+    out = []
+    for i in range(n):
+        kind = i % 4
+        if kind == 0:
+            out.append(MicroOp(0, 0x100 + i, OpClass.LOAD, srcs=[2],
+                               dst=3 + i % 4, mem_addr=0x4000 + 64 * i))
+        elif kind == 1:
+            out.append(MicroOp(0, 0x200 + i, OpClass.STORE, srcs=[2, 3],
+                               mem_addr=0x8000 + 8 * i, mem_size=4))
+        elif kind == 2:
+            out.append(MicroOp(0, 0x300 + i, OpClass.FP_MUL,
+                               srcs=[35, 36], dst=37))
+        else:
+            out.append(MicroOp(0, 0x400 + i, OpClass.BRANCH, srcs=[3],
+                               taken=i % 3 == 0, target=0x400))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Record encoding
+
+
+uop_strategy = st.builds(
+    MicroOp,
+    seq=st.just(0),
+    pc=st.integers(min_value=0, max_value=2**63),
+    opclass=st.sampled_from(list(OpClass)),
+    srcs=st.lists(st.integers(min_value=0, max_value=63), max_size=3),
+    dst=st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+    mem_addr=st.integers(min_value=0, max_value=2**63),
+    mem_size=st.integers(min_value=0, max_value=64),
+    taken=st.booleans(),
+    target=st.integers(min_value=0, max_value=2**63),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(uop=uop_strategy)
+def test_record_roundtrip_property(uop):
+    assert arch(decode_record(RECORD.unpack(encode_record(uop)))) == arch(uop)
+
+
+def test_record_is_fixed_width():
+    assert len(encode_record(_mixed_uops(1)[0])) == RECORD.size
+
+
+def test_too_many_sources_rejected():
+    uop = MicroOp(0, 0x1, OpClass.INT_ALU, srcs=[1, 2, 3, 4], dst=5)
+    with pytest.raises(TraceFormatError, match="at most 3"):
+        encode_record(uop)
+
+
+def test_wrong_path_uop_rejected():
+    uop = MicroOp(0, 0x1, OpClass.INT_ALU, srcs=[0], dst=1, wrong_path=True)
+    with pytest.raises(TraceFormatError, match="wrong-path"):
+        encode_record(uop)
+
+
+# ---------------------------------------------------------------------------
+# File round-trips
+
+
+@pytest.mark.parametrize("compress", [True, False])
+def test_file_roundtrip(tmp_path, compress):
+    uops = _mixed_uops(500)
+    path = tmp_path / "t.trc"
+    info = capture(ListTrace(uops), path, 500, wp_seed=3,
+                   provenance={"workload": "hand"}, compress=compress,
+                   frame_records=64)       # force multiple frames
+    assert info.uop_count == 500
+    assert info.compressed is compress
+    assert [arch(u) for u in read_uops(path)] == [arch(u) for u in uops]
+    assert verify(path)
+
+
+def test_capture_stops_at_exhaustion(tmp_path):
+    path = tmp_path / "t.trc"
+    info = capture(ListTrace(_mixed_uops(20)), path, 1000, wp_seed=0)
+    assert info.uop_count == 20
+    assert len(list(read_uops(path))) == 20
+
+
+def test_read_uops_limit(tmp_path):
+    path = tmp_path / "t.trc"
+    capture(ListTrace(_mixed_uops(50)), path, 50, wp_seed=0)
+    assert len(list(read_uops(path, limit=7))) == 7
+
+
+def test_info_provenance_and_wp_seed(tmp_path):
+    path = tmp_path / "t.trc"
+    capture(ListTrace(_mixed_uops(10)), path, 10, wp_seed=77,
+            provenance={"workload": "x", "is_fp": True})
+    info = read_info(path)
+    assert info.wp_seed == 77
+    assert info.provenance == {"workload": "x", "is_fp": True}
+    assert info.raw_bytes == 10 * RECORD.size
+
+
+def test_digest_independent_of_compression(tmp_path):
+    uops = _mixed_uops(200)
+    a = capture(ListTrace(uops), tmp_path / "a.trc", 200, wp_seed=0,
+                compress=True)
+    b = capture(ListTrace(uops), tmp_path / "b.trc", 200, wp_seed=0,
+                compress=False)
+    assert a.digest == b.digest
+    assert a.file_bytes < b.file_bytes        # zlib must actually help
+
+
+def test_writer_context_manager_removes_partial_file(tmp_path):
+    path = tmp_path / "t.trc"
+    with pytest.raises(RuntimeError):
+        with TraceWriter(path, wp_seed=0) as out:
+            out.append(_mixed_uops(1)[0])
+            raise RuntimeError("boom")
+    assert not path.exists()
+
+
+# ---------------------------------------------------------------------------
+# Corruption and version handling
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "t.trc"
+    path.write_bytes(b"NOPE" + b"\0" * 100)
+    with pytest.raises(TraceFormatError, match="bad magic"):
+        read_info(path)
+
+
+def test_truncated_header_rejected(tmp_path):
+    path = tmp_path / "t.trc"
+    path.write_bytes(b"RPTR\x01")
+    with pytest.raises(TraceFormatError, match="too short"):
+        read_info(path)
+
+
+def test_future_version_rejected(tmp_path):
+    path = tmp_path / "t.trc"
+    capture(ListTrace(_mixed_uops(5)), path, 5, wp_seed=0)
+    raw = bytearray(path.read_bytes())
+    struct.pack_into("<H", raw, 4, 99)        # bump the version field
+    path.write_bytes(bytes(raw))
+    with pytest.raises(TraceFormatError, match="version 99"):
+        read_info(path)
+
+
+def test_tampered_payload_fails_verify(tmp_path):
+    path = tmp_path / "t.trc"
+    capture(ListTrace(_mixed_uops(100)), path, 100, wp_seed=0,
+            compress=False)
+    assert verify(path)
+    raw = bytearray(path.read_bytes())
+    raw[-3] ^= 0xFF                           # flip payload bits
+    path.write_bytes(bytes(raw))
+    assert not verify(path)
+
+
+def test_truncated_frame_detected(tmp_path):
+    path = tmp_path / "t.trc"
+    capture(ListTrace(_mixed_uops(100)), path, 100, wp_seed=0)
+    data = path.read_bytes()
+    path.write_bytes(data[:-10])
+    with pytest.raises(TraceFormatError):
+        list(read_uops(path))
+    assert not verify(path)
+
+
+# ---------------------------------------------------------------------------
+# FileTrace replay semantics
+
+
+def test_file_trace_assigns_no_state(tmp_path):
+    path = tmp_path / "t.trc"
+    uops = _mixed_uops(30)
+    capture(ListTrace(uops), path, 30, wp_seed=0)
+    trace = FileTrace(path)
+    replayed = list(iterate(trace, 100))
+    assert len(replayed) == 30
+    assert trace.next_uop() is None           # exhausted, stays exhausted
+    assert [arch(u) for u in replayed] == [arch(u) for u in uops]
+
+
+def test_file_trace_loop_and_reset(tmp_path):
+    path = tmp_path / "t.trc"
+    capture(ListTrace(_mixed_uops(10)), path, 10, wp_seed=0)
+    looped = FileTrace(path, loop=True)
+    pcs = [looped.next_uop().pc for _ in range(25)]
+    assert pcs[:10] == pcs[10:20]
+    trace = FileTrace(path)
+    first = trace.next_uop().pc
+    trace.reset()
+    assert trace.next_uop().pc == first
+
+
+def test_file_trace_wrong_path_matches_header_seed(tmp_path):
+    from repro.isa.trace import WrongPathSynth
+
+    path = tmp_path / "t.trc"
+    capture(ListTrace(_mixed_uops(5)), path, 5, wp_seed=123)
+    trace = FileTrace(path)
+    synth = WrongPathSynth(123)
+    for i in range(40):
+        a, b = trace.wrong_path_uop(0, i), synth.synth(0, i)
+        assert (a.srcs, a.dst, a.opclass) == (b.srcs, b.dst, b.opclass)
+        assert a.wrong_path
+
+
+def test_header_is_64_bytes():
+    # The writer patches count+digest at fixed offsets; layout is frozen.
+    assert HEADER.size == 64
+    assert FLAG_ZLIB == 1

@@ -1,0 +1,179 @@
+"""Capture -> replay fidelity: the trace subsystem's core guarantee.
+
+Two properties, asserted across Table-2 workloads, scenario specs and
+seeds:
+
+1. **Stream fidelity** — replaying a recorded trace yields the
+   bit-identical architectural µop sequence the live generator produces
+   (and the bit-identical wrong-path stream).
+2. **Result fidelity** — simulating through the engine from a trace file
+   produces ``SimStats`` with the same content hash as simulating from
+   the live generator, warmups and all.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.common.serialize import stable_hash
+from repro.experiments.engine import cell_key, cell_payload, simulate_payload
+from repro.experiments.runner import Settings, run_experiment, SweepSeries
+from repro.isa.trace import iterate
+from repro.traces.format import capture
+from repro.traces.registry import TraceWorkload, resolve_workload
+from repro.traces.scenario import ScenarioSpec
+
+SCENARIO_DIR = Path(__file__).parents[2] / "examples" / "scenarios"
+
+TABLE2_WORKLOADS = ("gzip", "swim", "mcf")
+SCENARIOS = ("pointer-chase-storm", "branchy-low-ilp", "streaming-mlp")
+
+#: Tiny but real volumes: functional warmup, timed warmup and measure all
+#: exercised. The capture must cover the longer of the two streams plus
+#: the bounded fetch-ahead still in flight at the measure cutoff.
+VOLUMES = dict(warmup_uops=200, measure_uops=1200,
+               functional_warmup_uops=3000, seed=5)
+CAPTURE_UOPS = max(VOLUMES["functional_warmup_uops"],
+                   VOLUMES["warmup_uops"] + VOLUMES["measure_uops"] + 8192)
+
+ARCH_FIELDS = ("pc", "opclass", "srcs", "dst", "mem_addr", "mem_size",
+               "taken", "target")
+
+
+def _resolve(name: str):
+    if name in SCENARIOS:
+        return ScenarioSpec.from_file(SCENARIO_DIR / f"{name}.toml")
+    return resolve_workload(name)
+
+
+def _record(workload, tmp_path, seed: int) -> TraceWorkload:
+    path = tmp_path / f"{workload.name}-{seed}.trc"
+    capture(workload.build_trace(seed), path, CAPTURE_UOPS, wp_seed=seed,
+            provenance={"workload": workload.name})
+    return TraceWorkload(path)
+
+
+# ---------------------------------------------------------------------------
+# Stream fidelity
+
+
+@pytest.mark.parametrize("name", TABLE2_WORKLOADS + SCENARIOS)
+@pytest.mark.parametrize("seed", [1, 42])
+def test_replay_stream_bit_identical(tmp_path, name, seed):
+    workload = _resolve(name)
+    recorded = _record(workload, tmp_path, seed)
+    live = iterate(workload.build_trace(seed), 4000)
+    replay = iterate(recorded.build_trace(), 4000)
+    for expected, got in zip(live, replay):
+        for field in ARCH_FIELDS:
+            assert getattr(expected, field) == getattr(got, field), (
+                f"{name} seed={seed}: {field} diverged at "
+                f"pc={expected.pc:#x}")
+
+
+@pytest.mark.parametrize("name", ("gzip", "streaming-mlp"))
+def test_replay_wrong_path_bit_identical(tmp_path, name):
+    workload = _resolve(name)
+    recorded = _record(workload, tmp_path, 7)
+    live, replay = workload.build_trace(7), recorded.build_trace()
+    for i in range(200):
+        a, b = live.wrong_path_uop(0, i), replay.wrong_path_uop(0, i)
+        assert (a.opclass, a.srcs, a.dst) == (b.opclass, b.srcs, b.dst)
+
+
+# ---------------------------------------------------------------------------
+# Result fidelity (the acceptance criterion)
+
+
+@pytest.mark.parametrize("name, preset", [
+    ("gzip", "Baseline_0"),
+    ("swim", "SpecSched_4"),
+    ("mcf", "SpecSched_4_Crit"),
+    ("pointer-chase-storm", "SpecSched_4"),
+    ("branchy-low-ilp", "SpecSched_4_Shift"),
+    ("streaming-mlp", "SpecSched_4_Ctr"),
+])
+def test_engine_stats_identical_live_vs_replay(tmp_path, name, preset):
+    workload = _resolve(name)
+    recorded = _record(workload, tmp_path, VOLUMES["seed"])
+    live = simulate_payload(cell_payload(preset, workload, **VOLUMES))
+    replay = simulate_payload(cell_payload(preset, recorded, **VOLUMES))
+    assert stable_hash(live) == stable_hash(replay), (
+        f"{name}/{preset}: replayed SimStats diverged from live")
+
+
+def test_cache_key_differs_between_live_and_trace(tmp_path):
+    """Same stream, different provenance: a trace cell must not collide
+    with (or go stale against) the live generator's cache entries."""
+    workload = _resolve("gzip")
+    recorded = _record(workload, tmp_path, VOLUMES["seed"])
+    live_payload = cell_payload("Baseline_0", workload, **VOLUMES)
+    trace_payload = cell_payload("Baseline_0", recorded, **VOLUMES)
+    assert stable_hash(live_payload) != stable_hash(trace_payload)
+    # Re-record with a different length: the digest, hence the key, moves.
+    path = tmp_path / "re.trc"
+    capture(workload.build_trace(VOLUMES["seed"]), path, CAPTURE_UOPS + 1,
+            wp_seed=VOLUMES["seed"])
+    rerecorded_payload = cell_payload("Baseline_0", TraceWorkload(path),
+                                      **VOLUMES)
+    assert stable_hash(trace_payload) != stable_hash(rerecorded_payload)
+
+
+def test_cache_key_independent_of_trace_location(tmp_path):
+    """The same recording at two paths keys the same cache entries."""
+    workload = _resolve("gzip")
+    recorded = _record(workload, tmp_path, VOLUMES["seed"])
+    copy = tmp_path / "renamed-elsewhere.trc"
+    copy.write_bytes(Path(recorded.path).read_bytes())
+    key_a = cell_key(cell_payload("Baseline_0", recorded, **VOLUMES))
+    key_b = cell_key(cell_payload("Baseline_0", TraceWorkload(copy),
+                                  **VOLUMES))
+    assert key_a == key_b
+
+
+def test_undersized_trace_rejected_not_measured(tmp_path):
+    """A trace shorter than warmup+measure must fail loudly, not cache
+    an all-zero measured region."""
+    workload = _resolve("gzip")
+    path = tmp_path / "short.trc"
+    capture(workload.build_trace(VOLUMES["seed"]), path, 500,
+            wp_seed=VOLUMES["seed"])
+    payload = cell_payload("Baseline_0", TraceWorkload(path), **VOLUMES)
+    with pytest.raises(ValueError, match="holds only 500"):
+        simulate_payload(payload)
+
+
+def test_run_experiment_accepts_trace_names(tmp_path, monkeypatch):
+    """A recorded trace is addressable by registry name end-to-end."""
+    workload = _resolve("gzip")
+    path = tmp_path / "gzip-rec.trc"
+    capture(workload.build_trace(VOLUMES["seed"]), path, CAPTURE_UOPS,
+            wp_seed=VOLUMES["seed"], provenance={"workload": "gzip"})
+    monkeypatch.setenv("REPRO_WORKLOAD_PATH", str(tmp_path))
+    settings = Settings(workloads=("gzip", "gzip-rec"),
+                        warmup_uops=VOLUMES["warmup_uops"],
+                        measure_uops=VOLUMES["measure_uops"],
+                        functional_warmup_uops=VOLUMES[
+                            "functional_warmup_uops"],
+                        seed=VOLUMES["seed"])
+    series = SweepSeries("Baseline_0", "Baseline_0", banked=False)
+    result = run_experiment("trace-name", [series], "Baseline_0", settings)
+    live = result.get("Baseline_0", "gzip")
+    replay = result.get("Baseline_0", "gzip-rec")
+    assert stable_hash(live.to_dict()) == stable_hash(replay.to_dict())
+
+
+def test_run_workload_rejects_undersized_trace(tmp_path):
+    """The guard holds on the run_workload/run_config path too, not just
+    the engine and the replay subcommand."""
+    from repro.pipeline.sim import run_workload
+
+    workload = _resolve("gzip")
+    path = tmp_path / "short.trc"
+    capture(workload.build_trace(1), path, 300, wp_seed=1)
+    with pytest.raises(ValueError, match="holds only 300"):
+        run_workload(TraceWorkload(path), "SpecSched_4",
+                     warmup_uops=200, measure_uops=1000,
+                     functional_warmup_uops=0)

@@ -1,0 +1,214 @@
+"""Scenario specs: loading, validation, determinism, behavioural knobs."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.isa.opclass import OpClass
+from repro.isa.trace import iterate
+from repro.traces.scenario import ScenarioSpec
+
+ARCH_FIELDS = ("pc", "opclass", "srcs", "dst", "mem_addr", "mem_size",
+               "taken", "target")
+
+
+def arch(uop):
+    return tuple(getattr(uop, name) for name in ARCH_FIELDS)
+
+
+def _spec(**overrides):
+    data = {
+        "name": "unit",
+        "seed": 3,
+        "mix": [
+            {"name": "ld", "op": "load", "next": {"alu": 2.0, "ld": 1.0}},
+            {"name": "alu", "op": "alu", "next": {"ld": 2.0, "br": 0.5}},
+            {"name": "br", "op": "branch", "next": {"ld": 1.0}},
+        ],
+        "memory": {"ws_lines": 1024, "stream_frac": 0.5, "chase_frac": 0.2},
+    }
+    data.update(overrides)
+    return ScenarioSpec.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Loading / serialization
+
+
+def test_dict_roundtrip():
+    spec = _spec()
+    again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.content_hash() == spec.content_hash()
+
+
+def test_from_toml_and_json_agree(tmp_path):
+    spec = _spec()
+    json_path = tmp_path / "s.json"
+    json_path.write_text(json.dumps(spec.to_dict()))
+    toml_lines = [
+        'name = "unit"', "seed = 3",
+        "[memory]", "ws_lines = 1024", "stream_frac = 0.5",
+        "chase_frac = 0.2",
+        "[[mix]]", 'name = "ld"', 'op = "load"',
+        "next = { alu = 2.0, ld = 1.0 }",
+        "[[mix]]", 'name = "alu"', 'op = "alu"',
+        "next = { ld = 2.0, br = 0.5 }",
+        "[[mix]]", 'name = "br"', 'op = "branch"', "next = { ld = 1.0 }",
+    ]
+    toml_path = tmp_path / "s.toml"
+    toml_path.write_text("\n".join(toml_lines))
+    assert ScenarioSpec.from_file(json_path) == spec
+    assert ScenarioSpec.from_file(toml_path) == spec
+
+
+def test_toml_fp_alias():
+    spec = _spec(fp=True)
+    assert spec.is_fp
+    assert ScenarioSpec.from_dict(spec.to_dict()).is_fp
+
+
+SCENARIO_DIR = Path(__file__).parents[2] / "examples" / "scenarios"
+
+
+def test_example_scenarios_load_and_validate():
+    for name in ("pointer-chase-storm", "branchy-low-ilp", "streaming-mlp"):
+        spec = ScenarioSpec.from_file(SCENARIO_DIR / f"{name}.toml")
+        assert spec.name == name
+        assert spec.description
+        list(iterate(spec.build_trace(), 200))      # generates cleanly
+
+
+# ---------------------------------------------------------------------------
+# Validation
+
+
+@pytest.mark.parametrize("mutation, match", [
+    ({"mix": []}, "empty mix"),
+    ({"mix": [{"name": "a", "op": "teleport", "next": {}}]}, "unknown op"),
+    ({"mix": [{"name": "a", "op": "alu", "next": {"ghost": 1.0}}]},
+     "unknown successor"),
+    ({"mix": [{"name": "a", "op": "alu", "next": {"a": -1.0}}]},
+     "non-positive"),
+    ({"mix": [{"name": "a", "op": "alu", "next": {}},
+              {"name": "a", "op": "alu", "next": {}}]}, "duplicate"),
+    ({"deps": {"mean_distance": 0.5}}, "mean_distance"),
+    ({"deps": {"window": 99}}, "window"),
+    ({"memory": {"stream_frac": 1.5}}, "stream_frac"),
+    ({"memory": {"ws_lines": 0}}, "ws_lines"),
+    ({"branch": {"noise": -0.1}}, "noise"),
+    ({"surprise": 1}, "unknown scenario fields"),
+])
+def test_validation_failures(mutation, match):
+    with pytest.raises(ValueError, match=match):
+        _spec(**mutation)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+
+
+def test_same_seed_same_stream():
+    spec = _spec()
+    a = [arch(u) for u in iterate(spec.build_trace(), 1000)]
+    b = [arch(u) for u in iterate(spec.build_trace(), 1000)]
+    assert a == b
+
+
+def test_seed_changes_stream():
+    spec = _spec()
+    a = [arch(u) for u in iterate(spec.build_trace(1), 500)]
+    b = [arch(u) for u in iterate(spec.build_trace(2), 500)]
+    assert a != b
+
+
+def test_wrong_path_seeded_per_build_seed():
+    spec = _spec()
+    t1, t2 = spec.build_trace(9), spec.build_trace(9)
+    pairs = [(t1.wrong_path_uop(0, i), t2.wrong_path_uop(0, i))
+             for i in range(30)]
+    assert all((a.srcs, a.dst) == (b.srcs, b.dst) for a, b in pairs)
+
+
+# ---------------------------------------------------------------------------
+# Behavioural knobs actually steer behaviour
+
+
+def test_chase_frac_builds_load_chains():
+    spec = _spec(memory={"ws_lines": 1024, "stream_frac": 0.0,
+                         "chase_frac": 1.0})
+    uops = list(iterate(spec.build_trace(), 800))
+    loads = [u for u in uops if u.opclass == OpClass.LOAD]
+    chained = sum(1 for prev, cur in zip(loads, loads[1:])
+                  if cur.srcs == [prev.dst])
+    assert chained / (len(loads) - 1) > 0.9
+
+
+def test_stream_frac_strides_sequentially():
+    spec = _spec(memory={"ws_lines": 4096, "stream_frac": 1.0,
+                         "chase_frac": 0.0, "stride": 64, "streams": 1})
+    addrs = [u.mem_addr for u in iterate(spec.build_trace(), 600)
+             if u.opclass == OpClass.LOAD]
+    deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+    assert deltas == {64}
+
+
+def test_streams_interleave_cursors():
+    spec = _spec(memory={"ws_lines": 4096, "stream_frac": 1.0,
+                         "chase_frac": 0.0, "stride": 64, "streams": 4})
+    addrs = [u.mem_addr for u in iterate(spec.build_trace(), 400)
+             if u.opclass == OpClass.LOAD][:8]
+    # Four cursors start a quarter of the working set apart.
+    spread = {addr % (4096 * 64) // (1024 * 64) for addr in addrs[:4]}
+    assert spread == {0, 1, 2, 3}
+
+
+def test_branch_noise_controls_pattern_breaks():
+    clean = _spec(branch={"period": 4, "noise": 0.0})
+    outcomes = [u.taken for u in iterate(clean.build_trace(), 2000)
+                if u.opclass == OpClass.BRANCH]
+    assert len(outcomes) > 50
+    # Perfectly periodic: not-taken exactly every `period` branches.
+    assert all(outcomes[i] == (i % 4 != 0) for i in range(len(outcomes)))
+    noisy = _spec(branch={"period": 4, "noise": 0.3})
+    noisy_outcomes = [u.taken for u in iterate(noisy.build_trace(), 2000)
+                      if u.opclass == OpClass.BRANCH]
+    breaks = sum(1 for i, t in enumerate(noisy_outcomes) if t != (i % 4 != 0))
+    assert 0.15 < breaks / len(noisy_outcomes) < 0.45
+
+
+def test_mean_distance_one_serializes_chains():
+    spec = _spec(deps={"mean_distance": 1.0, "window": 8},
+                 mix=[{"name": "alu", "op": "alu", "next": {"alu": 1.0}}])
+    uops = list(iterate(spec.build_trace(), 200))
+    assert all(cur.srcs == [prev.dst]
+               for prev, cur in zip(uops[1:], uops[2:]))
+
+
+def test_fp_spec_uses_fp_opclasses_and_registers():
+    spec = _spec(fp=True)
+    uops = list(iterate(spec.build_trace(), 400))
+    alus = [u for u in uops if u.opclass == OpClass.FP_ADD]
+    assert alus, "fp=true must map alu -> FP_ADD"
+    assert all(u.dst >= 32 for u in alus)
+
+
+def test_absorbing_state_loops_in_place():
+    spec = _spec(mix=[{"name": "only", "op": "nop", "next": {}}])
+    uops = list(iterate(spec.build_trace(), 50))
+    assert len(uops) == 50
+    assert {u.opclass for u in uops} == {OpClass.NOP}
+
+
+def test_nested_knob_typo_is_a_value_error():
+    # A typoed [deps]/[memory]/[branch] key must be bad *input*
+    # (ValueError, caught by the CLI), not a TypeError crash.
+    with pytest.raises(ValueError, match=r"unknown \[deps\] fields"):
+        _spec(deps={"mean_distence": 2.0})
+    with pytest.raises(ValueError, match=r"unknown \[memory\] fields"):
+        _spec(memory={"ws_lines": 64, "chase_fraction": 0.5})
+    with pytest.raises(ValueError, match=r"unknown \[branch\] fields"):
+        _spec(branch={"periodicity": 8})
