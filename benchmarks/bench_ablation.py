@@ -11,7 +11,7 @@
 
 from repro.common.mathutil import geomean
 from repro.core.presets import make_config
-from repro.experiments.runner import Settings, _CACHE
+from repro.experiments.runner import _CACHE
 from repro.pipeline.cpu import Simulator
 from repro.workloads.suite import get_workload
 

@@ -1,0 +1,24 @@
+"""Repository-root pytest configuration.
+
+Registers the options that must exist for *any* invocation directory
+(options can only be added from an initial conftest, and the root is the
+only directory common to ``pytest``, ``pytest tests/...`` and
+``pytest benchmarks/``):
+
+* ``--benchmarks`` — opt into collecting the ``benchmarks/bench_*.py``
+  regeneration suite from the repository root. Without it (and without
+  naming the benchmarks directory explicitly) ``pytest -x -q`` collects
+  tests only — the tier-1 suite can never pick up a multi-minute
+  benchmark by accident. See ``benchmarks/conftest.py`` for the
+  collection rules and the ``slow`` marker handling.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmarks", action="store_true", default=False,
+        help="collect benchmarks/bench_*.py (table/figure regeneration "
+             "benches) even when the benchmarks directory is not named "
+             "on the command line")

@@ -4,14 +4,24 @@
 2 FPMulDiv (5c mul / 10c div, divider not pipelined), 2 load ports,
 1 store port. Issue allocates a unit slot for the cycle; unpipelined ops
 additionally block a unit for their full latency.
+
+Per-kind state lives in flat lists indexed by ``FuKind`` value —
+``try_allocate`` runs once per selected µop and ``new_cycle`` every
+cycle, so dict-of-enum bookkeeping was measurable cycle-loop overhead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.common.config import CoreConfig
-from repro.isa.opclass import EXEC_LATENCY, FU_KIND, UNPIPELINED, FuKind, OpClass
+from repro.isa.opclass import (
+    EXEC_LATENCY_BY_OP,
+    FU_KIND_BY_OP,
+    UNPIPELINED_BY_OP,
+    FuKind,
+    OpClass,
+)
 
 
 class FuPool:
@@ -19,43 +29,43 @@ class FuPool:
 
     def __init__(self, config: CoreConfig) -> None:
         self.config = config
-        self._counts = {
-            FuKind.ALU: config.num_alu,
-            FuKind.MULDIV: config.num_muldiv,
-            FuKind.FP: config.num_fp,
-            FuKind.FPMULDIV: config.num_fpmuldiv,
-            FuKind.LOAD_PORT: config.num_load_ports,
-            FuKind.STORE_PORT: config.num_store_ports,
-        }
-        self._used: Dict[FuKind, int] = {kind: 0 for kind in self._counts}
+        counts = [0] * len(FuKind)
+        counts[FuKind.ALU] = config.num_alu
+        counts[FuKind.MULDIV] = config.num_muldiv
+        counts[FuKind.FP] = config.num_fp
+        counts[FuKind.FPMULDIV] = config.num_fpmuldiv
+        counts[FuKind.LOAD_PORT] = config.num_load_ports
+        counts[FuKind.STORE_PORT] = config.num_store_ports
+        self._counts: List[int] = counts
+        self._used: List[int] = [0] * len(FuKind)
+        self._zeros: List[int] = [0] * len(FuKind)
         # Unpipelined units: per-unit busy-until cycle (issue-time view).
-        self._busy_until: Dict[FuKind, List[int]] = {
-            FuKind.MULDIV: [0] * config.num_muldiv,
-            FuKind.FPMULDIV: [0] * config.num_fpmuldiv,
-        }
+        self._busy_until: List[List[int]] = [[] for _ in FuKind]
+        self._busy_until[FuKind.MULDIV] = [0] * config.num_muldiv
+        self._busy_until[FuKind.FPMULDIV] = [0] * config.num_fpmuldiv
         self.grants = 0
         self.rejections = 0
 
     def new_cycle(self) -> None:
-        for kind in self._used:
-            self._used[kind] = 0
+        self._used[:] = self._zeros
 
     def try_allocate(self, opclass: OpClass, now: int) -> bool:
         """Reserve a unit for a µop issuing at ``now``; False if none free."""
-        kind = FU_KIND[opclass]
-        if self._used[kind] >= self._counts[kind]:
+        kind = FU_KIND_BY_OP[opclass]
+        used = self._used
+        if used[kind] >= self._counts[kind]:
             self.rejections += 1
             return False
-        if opclass in UNPIPELINED:
+        if UNPIPELINED_BY_OP[opclass]:
             units = self._busy_until[kind]
             for i, busy in enumerate(units):
                 if busy <= now:
-                    units[i] = now + EXEC_LATENCY[opclass]
+                    units[i] = now + EXEC_LATENCY_BY_OP[opclass]
                     break
             else:
                 self.rejections += 1
                 return False
-        self._used[kind] += 1
+        used[kind] += 1
         self.grants += 1
         return True
 

@@ -4,6 +4,12 @@ Entry lifetime follows Section 3.1: non-memory µops release their entry
 the moment they issue (speculatively or not); loads and stores keep theirs
 until they have *executed*, because a squashed memory µop is re-issued from
 the IQ rather than from the recovery buffer.
+
+The ready list is kept sorted by ``seq`` at insertion (binary search) and
+each µop carries an ``in_ready`` flag, so per-cycle select is a pruned
+walk — no per-cycle sort, no linear membership scans. Select order is
+identical to the old sort-on-take implementation: ``seq`` is unique, so
+"insertion-sorted by seq" and "sorted at take time" agree exactly.
 """
 
 from __future__ import annotations
@@ -11,6 +17,28 @@ from __future__ import annotations
 from typing import List, Set
 
 from repro.isa.uop import MicroOp
+
+
+def insert_by_seq(ready: List[MicroOp], uop: MicroOp) -> None:
+    """Insert ``uop`` into a seq-sorted ready list (shared with the
+    recovery buffer)."""
+    seq = uop.seq
+    lo, hi = 0, len(ready)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ready[mid].seq < seq:
+            lo = mid + 1
+        else:
+            hi = mid
+    ready.insert(lo, uop)
+    uop.in_ready = True
+
+
+def clear_ready(ready: List[MicroOp]) -> None:
+    """Empty a ready list, resetting every member's flag."""
+    for uop in ready:
+        uop.in_ready = False
+    ready.clear()
 
 
 class IssueQueue:
@@ -35,7 +63,7 @@ class IssueQueue:
         return self.capacity - len(self._occupants)
 
     def insert(self, uop: MicroOp) -> None:
-        if self.full:
+        if len(self._occupants) >= self.capacity:
             raise OverflowError("IQ overflow")
         self._occupants.add(uop)
         uop.in_iq = True
@@ -44,29 +72,41 @@ class IssueQueue:
 
     def make_ready(self, uop: MicroOp) -> None:
         """Move a source-complete occupant onto the ready list."""
-        if uop not in self._occupants:
+        if uop.in_ready or uop not in self._occupants:
             return
-        if uop not in self.ready:
-            self.ready.append(uop)
+        insert_by_seq(self.ready, uop)
 
     def take_ready(self) -> List[MicroOp]:
         """Current ready µops, oldest (smallest seq) first, pruned of dead."""
-        if not self.ready:
-            return []
-        self.ready = [u for u in self.ready if not u.dead and u.in_iq]
-        self.ready.sort(key=lambda u: u.seq)
-        return self.ready
+        ready = self.ready
+        if not ready:
+            return ready
+        if any(u.dead or not u.in_iq for u in ready):
+            kept = []
+            for u in ready:
+                if u.dead or not u.in_iq:
+                    u.in_ready = False
+                else:
+                    kept.append(u)
+            self.ready = ready = kept
+        return ready
 
     def remove_from_ready(self, uop: MicroOp) -> None:
-        if uop in self.ready:
+        if uop.in_ready:
             self.ready.remove(uop)
+            uop.in_ready = False
+
+    def clear_ready(self) -> None:
+        """Empty the ready list (replay re-arm rebuilds it from truth)."""
+        clear_ready(self.ready)
 
     def release(self, uop: MicroOp) -> None:
         """Free the entry (at issue for non-memory, at execute for memory)."""
         self._occupants.discard(uop)
         uop.in_iq = False
-        if uop in self.ready:
+        if uop.in_ready:
             self.ready.remove(uop)
+            uop.in_ready = False
 
     def squash_younger(self, seq: int, inclusive: bool = False) -> List[MicroOp]:
         """Drop occupants younger than ``seq``; returns them (any order)."""

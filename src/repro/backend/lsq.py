@@ -16,7 +16,8 @@ Responsibilities:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.isa.uop import MicroOp
 
@@ -28,14 +29,19 @@ def _qword(addr: int) -> int:
 
 
 class LoadStoreQueue:
-    """Combined LQ/SQ model."""
+    """Combined LQ/SQ model.
+
+    Queues are deques in program order: entries release from the front at
+    commit and squash from the back, so both ends are O(1); the address
+    scans (forwarding, violation detection) walk the whole queue either
+    way."""
 
     def __init__(self, lq_capacity: int = 72, sq_capacity: int = 48,
                  on_ready: Optional[Callable[[MicroOp], None]] = None) -> None:
         self.lq_capacity = lq_capacity
         self.sq_capacity = sq_capacity
-        self.loads: List[MicroOp] = []
-        self.stores: List[MicroOp] = []
+        self.loads: Deque[MicroOp] = deque()
+        self.stores: Deque[MicroOp] = deque()
         self._dep_waiters: Dict[int, List[MicroOp]] = {}  # store seq -> µops
         self.on_ready = on_ready or (lambda uop: None)
         self.forwards = 0
@@ -64,14 +70,18 @@ class LoadStoreQueue:
     def release(self, uop: MicroOp) -> None:
         """Free the entry at commit (or on squash)."""
         queue = self.loads if uop.is_load else self.stores
-        if uop in queue:
+        if queue and queue[0] is uop:      # commit order: the common case
+            queue.popleft()
+        elif uop in queue:
             queue.remove(uop)
 
     def squash_younger(self, seq: int, inclusive: bool = False) -> List[MicroOp]:
-        doomed = [u for u in self.loads + self.stores
-                  if u.seq > seq or (inclusive and u.seq == seq)]
+        doomed: List[MicroOp] = []
+        bound = seq - 1 if inclusive else seq
+        for queue in (self.loads, self.stores):
+            while queue and queue[-1].seq > bound:
+                doomed.append(queue.pop())
         for uop in doomed:
-            self.release(uop)
             self._dep_waiters.pop(uop.seq, None)
         return doomed
 
@@ -99,14 +109,15 @@ class LoadStoreQueue:
 
     def forwarding_store(self, load: MicroOp) -> Optional[MicroOp]:
         """Youngest older executed store matching the load's quadword."""
-        target = _qword(load.mem_addr)
+        target = load.mem_addr >> _QWORD_SHIFT
+        load_seq = load.seq
         best: Optional[MicroOp] = None
         for store in self.stores:
-            if store.seq >= load.seq or not store.executed or store.dead:
-                continue
-            if _qword(store.mem_addr) == target:
-                if best is None or store.seq > best.seq:
-                    best = store
+            if store.seq >= load_seq:
+                break                  # program order: no older stores left
+            if (store.executed and not store.dead
+                    and store.mem_addr >> _QWORD_SHIFT == target):
+                best = store           # walking oldest->youngest
         if best is not None:
             self.forwards += 1
         return best
@@ -117,14 +128,11 @@ class LoadStoreQueue:
         Such a load read stale data: it performed its access before the
         store wrote. Returns the offending load (refetch point) or None.
         """
-        target = _qword(store.mem_addr)
-        offender: Optional[MicroOp] = None
+        target = store.mem_addr >> _QWORD_SHIFT
+        store_seq = store.seq
         for load in self.loads:
-            if load.seq <= store.seq or not load.executed or load.dead:
-                continue
-            if _qword(load.mem_addr) == target:
-                if offender is None or load.seq < offender.seq:
-                    offender = load
-        if offender is not None:
-            self.violations += 1
-        return offender
+            if (load.seq > store_seq and load.executed and not load.dead
+                    and load.mem_addr >> _QWORD_SHIFT == target):
+                self.violations += 1
+                return load            # oldest match: queue is seq-sorted
+        return None

@@ -49,9 +49,14 @@ class Scoreboard:
         self.ready[preg] = False
         self.ready_at[preg] = wake_cycle
         self.data_ready_at[preg] = data_ready_exec
-        self.version[preg] += 1
-        self._events.setdefault(wake_cycle, []).append(
-            (preg, self.version[preg]))
+        version = self.version[preg] + 1
+        self.version[preg] = version
+        events = self._events
+        entry = events.get(wake_cycle)
+        if entry is None:
+            events[wake_cycle] = [(preg, version)]
+        else:
+            entry.append((preg, version))
 
     def unready(self, preg: int) -> None:
         """Squash a producer: its destination is no longer coming."""
@@ -78,21 +83,35 @@ class Scoreboard:
         zero; the caller routes it directly.
         """
         pending = 0
+        ready = self.ready
+        waiters = self._waiters
         for preg in uop.psrcs:
-            if not self.ready[preg]:
+            if not ready[preg]:
                 pending += 1
-                self._waiters.setdefault(preg, []).append(uop)
+                entry = waiters.get(preg)
+                if entry is None:
+                    waiters[preg] = [uop]
+                else:
+                    entry.append(uop)
         uop.pending = pending
         return pending
 
     def operands_issue_ready(self, uop: MicroOp, now: int) -> bool:
         """True when every register source is issue-ready at ``now``."""
-        return all(self.ready[p] and self.ready_at[p] <= now
-                   for p in uop.psrcs)
+        ready = self.ready
+        ready_at = self.ready_at
+        for p in uop.psrcs:
+            if not ready[p] or ready_at[p] > now:
+                return False
+        return True
 
     def operands_data_valid(self, uop: MicroOp, exec_cycle: int) -> bool:
         """True when every source's data is genuinely valid at Execute."""
-        return all(self.data_ready_at[p] <= exec_cycle for p in uop.psrcs)
+        data_ready_at = self.data_ready_at
+        for p in uop.psrcs:
+            if data_ready_at[p] > exec_cycle:
+                return False
+        return True
 
     # -- clock -----------------------------------------------------------
 
@@ -105,12 +124,16 @@ class Scoreboard:
         events = self._events.pop(now, None)
         if not events:
             return
+        versions = self.version
+        ready = self.ready
+        all_waiters = self._waiters
+        on_ready = self.on_ready
         for preg, version in events:
-            if self.version[preg] != version:
+            if versions[preg] != version:
                 continue            # squashed/corrected since scheduling
-            self.ready[preg] = True
+            ready[preg] = True
             self.wakeups_fired += 1
-            waiters = self._waiters.pop(preg, None)
+            waiters = all_waiters.pop(preg, None)
             if not waiters:
                 continue
             for uop in waiters:
@@ -118,11 +141,47 @@ class Scoreboard:
                     continue        # squashed permanently, or stale entry
                 uop.pending -= 1
                 if uop.pending == 0:
-                    self.on_ready(uop)
+                    on_ready(uop)
 
     def drop_waiter(self, uop: MicroOp) -> None:
         """Best-effort removal of a µop from all waiter lists (squash)."""
+        waiters = self._waiters
         for preg in uop.psrcs:
-            waiters = self._waiters.get(preg)
-            if waiters and uop in waiters:
-                waiters.remove(uop)
+            entry = waiters.get(preg)
+            if entry is not None:
+                try:
+                    entry.remove(uop)
+                except ValueError:
+                    pass
+
+    def rewatch(self, uop: MicroOp) -> int:
+        """Fused :meth:`drop_waiter` + :meth:`watch` (replay re-arm).
+
+        Replay storms re-arm the whole waiting population, so shaving
+        call overhead here is a measurable share of miss-heavy runs.
+        The drop pass must fully precede the re-add pass: a µop can name
+        the same source register twice (``srcs=[2, 2]``), and
+        interleaving would strip the entry the first occurrence just
+        re-added, leaving ``pending`` higher than the entries that can
+        ever wake it."""
+        waiters = self._waiters
+        psrcs = uop.psrcs
+        for preg in psrcs:
+            entry = waiters.get(preg)
+            if entry is not None:
+                try:
+                    entry.remove(uop)
+                except ValueError:
+                    pass
+        pending = 0
+        ready = self.ready
+        for preg in psrcs:
+            if not ready[preg]:
+                pending += 1
+                entry = waiters.get(preg)
+                if entry is None:
+                    waiters[preg] = [uop]
+                else:
+                    entry.append(uop)
+        uop.pending = pending
+        return pending

@@ -6,12 +6,18 @@ cripples a 60-entry scheduler). On a schedule misspeculation the in-flight
 µops are marked ``replay_pending``; once their sources are ready again they
 re-issue *from the buffer head with priority over the IQ*, which merely
 fills the holes in replayed issue groups.
+
+Like the IQ, the replay-ready list stays seq-sorted at insertion and uses
+the µop's ``in_ready`` flag for O(1) membership (a µop is never on both
+ready lists: non-memory µops leave the IQ at first issue, memory µops
+never enter the recovery buffer).
 """
 
 from __future__ import annotations
 
 from typing import List, Set
 
+from repro.backend.iq import clear_ready, insert_by_seq
 from repro.isa.uop import MicroOp
 
 
@@ -39,26 +45,41 @@ class RecoveryBuffer:
     def remove(self, uop: MicroOp) -> None:
         """Called when the µop executes (leaves the danger window)."""
         self._members.discard(uop)
-        if uop in self.ready:
+        if uop.in_ready:
             self.ready.remove(uop)
+            uop.in_ready = False
 
     def make_ready(self, uop: MicroOp) -> None:
         """A replay-pending member became source-complete."""
-        if uop in self._members and uop.replay_pending and uop not in self.ready:
-            self.ready.append(uop)
+        if (not uop.in_ready and uop.replay_pending
+                and uop in self._members):
+            insert_by_seq(self.ready, uop)
 
     def take_ready(self) -> List[MicroOp]:
         """Replay candidates, oldest first (head-of-buffer priority)."""
-        if not self.ready:
-            return []
-        self.ready = [u for u in self.ready
-                      if not u.dead and u.replay_pending and u in self._members]
-        self.ready.sort(key=lambda u: u.seq)
-        return self.ready
+        ready = self.ready
+        if not ready:
+            return ready
+        members = self._members
+        if any(u.dead or not u.replay_pending or u not in members
+               for u in ready):
+            kept = []
+            for u in ready:
+                if u.dead or not u.replay_pending or u not in members:
+                    u.in_ready = False
+                else:
+                    kept.append(u)
+            self.ready = ready = kept
+        return ready
 
     def remove_from_ready(self, uop: MicroOp) -> None:
-        if uop in self.ready:
+        if uop.in_ready:
             self.ready.remove(uop)
+            uop.in_ready = False
+
+    def clear_ready(self) -> None:
+        """Empty the ready list (replay re-arm rebuilds it from truth)."""
+        clear_ready(self.ready)
 
     def squash_younger(self, seq: int, inclusive: bool = False) -> List[MicroOp]:
         doomed = [u for u in self._members

@@ -42,6 +42,10 @@ class ReplayEvent:
                 f"alat={self.corrected_latency})")
 
 
+def _event_seq(event: ReplayEvent) -> int:
+    return event.load.seq
+
+
 class ReplayController:
     """Detection-event calendar + in-flight issue-group window."""
 
@@ -78,7 +82,7 @@ class ReplayController:
         events = self._events.pop(now, [])
         if events:
             self.events_fired += len(events)
-            events.sort(key=lambda ev: ev.load.seq)
+            events.sort(key=_event_seq)
         return events
 
     def squashable_uops(self, now: int) -> List[MicroOp]:

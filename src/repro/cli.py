@@ -12,6 +12,9 @@ Commands:
 * ``trace record WORKLOAD`` / ``trace info FILE`` / ``trace replay FILE
   CONFIG`` — capture a µop stream to the binary trace format, inspect a
   recording, replay one through the simulator;
+* ``bench [NAME ...]`` — measure simulator throughput (headline /
+  table2 / trace), write ``BENCH_<name>.json`` trajectory files and,
+  with ``--baseline``, enforce the perf regression gate;
 * ``list`` — available workloads (suite, scenarios, traces) and presets.
 
 Workload arguments resolve through the workload registry
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.presets import PRESET_NAMES
@@ -116,6 +120,31 @@ def build_parser() -> argparse.ArgumentParser:
     replay_p.add_argument("--measure", type=int, default=None,
                           help="measured µops (default: REPRO_MEASURE)")
 
+    bench_p = sub.add_parser(
+        "bench", help="measure simulator throughput and write "
+                      "BENCH_<name>.json trajectory files")
+    bench_p.add_argument("names", nargs="*", metavar="NAME",
+                         help="benchmarks to run (default: all; see "
+                              "repro.perf.bench.BENCHMARKS)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="CI volumes: 4 workloads, reduced µop counts")
+    bench_p.add_argument("--out-dir", default=".", metavar="DIR",
+                         help="where BENCH_<name>.json files are written "
+                              "(default: current directory)")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="attach per-phase cycle-loop timers and "
+                              "include the breakdown in the result")
+    bench_p.add_argument("--baseline", default=None, metavar="FILE",
+                         help="perf gate: fail when a benchmark regresses "
+                              "vs this committed baseline")
+    bench_p.add_argument("--max-regression", type=float, default=0.2,
+                         metavar="FRAC",
+                         help="largest tolerated normalized-throughput drop "
+                              "(default 0.2 = 20%%)")
+    bench_p.add_argument("--write-baseline", default=None, metavar="FILE",
+                         help="also write the combined results as a "
+                              "baseline file (e.g. benchmarks/baseline.json)")
+
     sub.add_parser("list", help="available workloads and presets")
     return parser
 
@@ -158,7 +187,11 @@ def _print_run(result) -> None:
 def _fail(exc: BaseException) -> int:
     """Uniform clean-error exit for expected bad inputs (unknown names,
     malformed scenario/trace files, undersized traces)."""
-    message = exc.args[0] if exc.args else exc
+    if isinstance(exc, OSError):
+        # args[0] is the bare errno for OSErrors; str() keeps the path.
+        message = str(exc)
+    else:
+        message = exc.args[0] if exc.args else exc
     print(f"error: {message}", file=sys.stderr)
     return 2
 
@@ -283,6 +316,86 @@ def _cmd_sweep(path: str, options: EngineOptions) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        BENCHMARKS,
+        bench_filename,
+        run_benchmark,
+        write_result,
+    )
+    from repro.perf.gate import (
+        GATED_METRICS,
+        check_regression,
+        read_baseline,
+        write_baseline,
+    )
+
+    names = args.names or list(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        return _fail(KeyError(
+            f"unknown benchmark(s) {', '.join(unknown)}; available: "
+            f"{', '.join(BENCHMARKS)}"))
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = read_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            return _fail(exc)
+    out_dir = Path(args.out_dir)
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        return _fail(exc)
+
+    failures = []
+    results = {}
+    for name in names:
+        result = run_benchmark(name, quick=args.quick, profile=args.profile)
+        results[name] = result
+        path = write_result(result, out_dir)
+        metric = GATED_METRICS.get(name, "uops_per_sec")
+        rate = result.metrics.get(metric, 0.0)
+        print(f"{name:10s} {rate:12,.0f} {metric}   "
+              f"(wall {result.metrics.get('wall_seconds', 0.0):.2f}s, "
+              f"calibration {result.calibration_ops_per_sec:,.0f} ops/s) "
+              f"-> {path}")
+        if args.profile and result.phases:
+            total = sum(v for k, v in result.phases.items()
+                        if k.endswith("_seconds"))
+            for key in sorted(result.phases,
+                              key=lambda k: -result.phases[k]):
+                if not key.endswith("_seconds"):
+                    continue
+                seconds = result.phases[key]
+                share = seconds / total if total else 0.0
+                print(f"    {key[:-8]:10s} {seconds:8.3f}s  {share:6.1%}")
+        if baseline is not None:
+            if name not in baseline:
+                print(f"    (no baseline entry for {name!r}; not gated)")
+            else:
+                try:
+                    found = check_regression(
+                        result, baseline[name],
+                        max_regression=args.max_regression)
+                except ValueError as exc:
+                    return _fail(exc)
+                failures.extend(found)
+                for failure in found:
+                    print(f"    GATE FAIL: {failure}")
+
+    if args.write_baseline:
+        path = write_baseline(results, args.write_baseline)
+        print(f"baseline written -> {path}")
+    if failures:
+        print(f"perf gate: {len(failures)} benchmark(s) regressed more "
+              f"than {args.max_regression:.0%} "
+              f"({bench_filename('<name>')} files still written)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_list() -> int:
     registry = default_registry()
     kinds = registry.names()
@@ -320,6 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace_info(args)
         if args.trace_command == "replay":
             return _cmd_trace_replay(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "list":
         return _cmd_list()
     return 1

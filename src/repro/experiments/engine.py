@@ -289,11 +289,15 @@ def cell_seed(payload: Dict[str, Any]) -> int:
     return payload["seed"]
 
 
-def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+def simulate_payload(payload: Dict[str, Any],
+                     phase_profile=None) -> Dict[str, Any]:
     """Worker entry point: simulate one cell, return its counter dict.
 
     Runs in worker processes under ``jobs > 1``; must stay a module-level
     function (picklable) and must touch no process-global mutable state.
+    ``phase_profile`` (a :class:`repro.perf.instrument.PhaseProfile`)
+    attaches per-phase cycle-loop timers — benchmarks only; it is never
+    set on the worker-pool path.
     """
     from repro.common.config import SimConfig
 
@@ -303,7 +307,8 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                         warmup_uops=payload["warmup_uops"],
                         measure_uops=payload["measure_uops"])
     seed = cell_seed(payload)
-    sim = Simulator(config, workload.build_trace(seed))
+    sim = Simulator(config, workload.build_trace(seed),
+                    phase_profile=phase_profile)
     if payload["functional_warmup_uops"]:
         sim.functional_warmup(workload.build_trace(seed),
                               payload["functional_warmup_uops"])

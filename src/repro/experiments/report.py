@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.runner import ExperimentResult
 
@@ -28,8 +28,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
 def performance_table(result: ExperimentResult,
                       labels: Optional[Sequence[str]] = None) -> str:
     """Figure (a) style: per-workload IPC normalized to the baseline."""
-    labels = list(labels or [l for l in result.labels()
-                             if l != result.baseline_label])
+    labels = list(labels or [lbl for lbl in result.labels()
+                             if lbl != result.baseline_label])
     headers = ["workload"] + list(labels)
     rows = []
     ratios = {label: result.ipc_ratio(label) for label in labels}

@@ -13,7 +13,7 @@ from typing import Optional, Tuple
 from repro.common.config import BranchPredictorConfig
 from repro.frontend.btb import Btb
 from repro.frontend.ras import ReturnAddressStack
-from repro.frontend.tage import TageLite
+from repro.frontend.tage import STATE_HISTORY, TageLite
 from repro.isa.opclass import OpClass
 from repro.isa.uop import MicroOp
 
@@ -31,31 +31,28 @@ class BranchUnit:
     def predict(self, uop: MicroOp) -> Tuple[bool, int]:
         """Predict direction and target for a branch µop at fetch.
 
-        Returns ``(pred_taken, pred_target)`` and stashes recovery state on
-        the µop. A BTB miss on a predicted-taken conditional demotes the
-        prediction to not-taken (the frontend has no target to redirect to).
+        Returns ``(pred_taken, pred_target)`` and stashes recovery state
+        on the µop as a ``(kind, component-state, ras-checkpoint)`` tuple.
+        A BTB miss on a predicted-taken conditional demotes the prediction
+        to not-taken (the frontend has no target to redirect to).
         """
         self.lookups += 1
         pc = uop.pc
-        if uop.opclass == OpClass.CALL:
-            state = {"kind": "call", "ras": self.ras.snapshot(),
-                     "history": self.tage.snapshot_history()}
+        opclass = uop.opclass
+        if opclass == OpClass.CALL:
+            uop.bp_state = ("call", self.tage.snapshot_history(),
+                            self.ras.snapshot())
             self.ras.push(pc + 1)
             target = self.btb.lookup(pc)
-            uop.bp_state = state
             return True, target if target is not None else uop.target
 
-        if uop.opclass == OpClass.RET:
-            state = {"kind": "ret", "ras": self.ras.snapshot(),
-                     "history": self.tage.snapshot_history()}
-            target = self.ras.pop()
-            uop.bp_state = state
-            return True, target
+        if opclass == OpClass.RET:
+            uop.bp_state = ("ret", self.tage.snapshot_history(),
+                            self.ras.snapshot())
+            return True, self.ras.pop()
 
         pred_taken, tage_state = self.tage.predict(pc)
-        state = {"kind": "cond", "tage": tage_state,
-                 "ras": self.ras.snapshot()}
-        uop.bp_state = state
+        uop.bp_state = ("cond", tage_state, self.ras.snapshot())
         if not pred_taken:
             return False, pc + 1
         target = self.btb.lookup(pc)
@@ -67,11 +64,11 @@ class BranchUnit:
 
     def resolve(self, uop: MicroOp) -> bool:
         """Train predictors when a branch executes; True if mispredicted."""
-        state = uop.bp_state or {}
+        state = uop.bp_state
         mispredicted = (uop.pred_taken != uop.taken) or (
             uop.taken and uop.pred_target != uop.target)
-        if state.get("kind") == "cond":
-            self.tage.update(uop.taken, state["tage"])
+        if state is not None and state[0] == "cond":
+            self.tage.update(uop.taken, state[1])
         if uop.taken:
             self.btb.install(uop.pc, uop.target)
         if mispredicted:
@@ -80,16 +77,17 @@ class BranchUnit:
 
     def _repair(self, uop: MicroOp) -> None:
         """Restore speculative history/RAS to the post-branch state."""
-        state = uop.bp_state or {}
-        if "ras" in state:
-            self.ras.restore(state["ras"])
-        kind = state.get("kind")
+        state = uop.bp_state
+        if state is None:
+            return
+        kind, component, ras_snap = state
+        self.ras.restore(ras_snap)
         if kind == "cond":
-            self.tage.restore_history(state["tage"]["history"])
+            self.tage.restore_history(component[STATE_HISTORY])
             # Re-apply the *actual* outcome to the history.
             self.tage._push_history(uop.taken)
-        elif "history" in state:
-            self.tage.restore_history(state["history"])
+        else:
+            self.tage.restore_history(component)
         if kind == "call":
             self.ras.push(uop.pc + 1)
         elif kind == "ret":

@@ -13,6 +13,19 @@ consuming the correct-path trace and injects synthetic wrong-path µops
 (which consume rename/issue/execute resources and show up in the *Unique*
 issued-µop counts, as in Figure 4b) until the branch resolves and
 :meth:`redirect` is called.
+
+Wrong-path fetch is **lazy**: a long-latency resolving branch (an L2/DRAM
+miss feeding a mispredict) keeps the frontend in wrong-path mode for
+hundreds of cycles, and an eager frontend would materialize
+``fetch_width`` µop objects every one of them only to discard nearly all
+at redirect — on miss-heavy workloads that flood used to dominate whole-
+simulation wall time. Instead the stage records one *virtual group*
+(ready-cycle, count) per wrong-path cycle and synthesizes a µop only when
+Rename actually consumes it; at redirect the undelivered remainder is
+dropped in bulk while :meth:`TraceSource.skip_wrong_path` advances the
+synthesis stream exactly as if the µops had been built. Delivered µops,
+their seq numbers and the wrong-path RNG stream are bit-identical to the
+eager frontend's.
 """
 
 from __future__ import annotations
@@ -45,6 +58,10 @@ class FetchStage:
         self.depth = config.frontend_depth
         # (ready_cycle, uop) in fetch order.
         self.pipe: Deque[Tuple[int, MicroOp]] = deque()
+        # Virtual wrong-path groups behind the pipe: [ready_cycle, count]
+        # lists in fetch order, materialized on demand (module docstring).
+        self._wp_groups: Deque[List[int]] = deque()
+        self._wp_pending = 0
         # Correct-path µops to re-fetch after a memory-order violation.
         self.replay_queue: Deque[MicroOp] = deque()
         self.wrong_path = False
@@ -61,11 +78,28 @@ class FetchStage:
         """Fetch one group of µops."""
         if now < self._stall_until:
             return
+        if self.wrong_path:
+            # Lazy wrong-path fetch: one full-width virtual group per
+            # cycle (wrong-path filler is never a branch, so an eager
+            # frontend would always fetch the full width too).
+            width = self.width
+            self._wp_groups.append([now + self.depth, width])
+            self._wp_pending += width
+            self.fetched_wrong += width
+            return
         taken_seen = 0
+        pipe_append = self.pipe.append
+        replay_queue = self.replay_queue
+        next_trace_uop = self.trace.next_uop
+        ready = now + self.depth
         for _ in range(self.width):
-            uop = self._next(now)
-            if uop is None:
-                return
+            if replay_queue:
+                uop = replay_queue.popleft()
+            else:
+                uop = next_trace_uop()
+                if uop is None:
+                    self.trace_exhausted = True
+                    return
             uop.fetch_cycle = now
             uop.seq = self._next_seq
             self._next_seq += 1
@@ -79,25 +113,48 @@ class FetchStage:
                     self.wrong_path = True
                     self._wrong_path_pc = (uop.pred_target if pred_taken
                                            else uop.pc + 1)
-            self.pipe.append((now + self.depth, uop))
-            if uop.wrong_path:
+            pipe_append((ready, uop))
+            if uop.wrong_path:      # only via hand-built test traces
                 self.fetched_wrong += 1
             else:
                 self.fetched_correct += 1
-            if uop.is_branch and uop.pred_taken:
-                taken_seen += 1
-                if taken_seen >= 2:
+            if uop.is_branch:
+                if uop.pred_taken:
+                    taken_seen += 1
+                    if taken_seen >= 2:
+                        return
+                if uop.mispredicted:
+                    # Rest of this group comes from the wrong path next cycle.
                     return
-            if uop.is_branch and uop.mispredicted:
-                # The rest of this group comes from the wrong path next cycle.
-                return
+
+    # ------------------------------------------------------------------
+    # delivery to Rename
+
+    def peek(self, now: int) -> Optional[MicroOp]:
+        """The next µop Rename could take at ``now`` (without taking it).
+
+        Materializes at most one virtual wrong-path µop. Returns ``None``
+        when nothing has finished its frontend traversal yet.
+        """
+        pipe = self.pipe
+        if not pipe:
+            if not self._wp_groups or not self._materialize_wrong_path(now):
+                return None
+        ready, uop = pipe[0]
+        if ready > now:
+            return None
+        return uop
+
+    def pop(self) -> MicroOp:
+        """Consume the µop :meth:`peek` returned."""
+        return self.pipe.popleft()[1]
 
     def deliver(self, now: int, max_uops: int) -> List[MicroOp]:
         """µops whose frontend traversal completes by ``now`` (for Rename)."""
         out: List[MicroOp] = []
-        while self.pipe and len(out) < max_uops:
-            ready, uop = self.pipe[0]
-            if ready > now:
+        while len(out) < max_uops:
+            uop = self.peek(now)
+            if uop is None:
                 break
             self.pipe.popleft()
             out.append(uop)
@@ -108,6 +165,26 @@ class FetchStage:
         for uop in reversed(uops):
             self.pipe.appendleft((now, uop))
 
+    def _materialize_wrong_path(self, now: int) -> bool:
+        """Build the oldest virtual wrong-path µop if it is ready by
+        ``now``; True when one was appended to the (empty) pipe."""
+        group = self._wp_groups[0]
+        ready = group[0]
+        if ready > now:
+            return False
+        uop = self.trace.wrong_path_uop(0, self._wrong_path_pc)
+        uop.wrong_path = True
+        self._wrong_path_pc += 1
+        uop.fetch_cycle = ready - self.depth
+        uop.seq = self._next_seq
+        self._next_seq += 1
+        self._wp_pending -= 1
+        group[1] -= 1
+        if not group[1]:
+            self._wp_groups.popleft()
+        self.pipe.append((ready, uop))
+        return True
+
     # ------------------------------------------------------------------
 
     def redirect(self, now: int) -> None:
@@ -115,9 +192,16 @@ class FetchStage:
 
         The caller (the core) squashes younger µops everywhere else; here we
         drop everything still inside the frontend, which is by construction
-        younger than the resolving branch.
+        younger than the resolving branch. Virtual wrong-path µops are
+        discarded in bulk: seq numbering and the synthesis stream advance
+        exactly as if they had been built (bit-identical to eager fetch).
         """
         self.pipe.clear()
+        if self._wp_pending:
+            self.trace.skip_wrong_path(self._wp_pending)
+            self._next_seq += self._wp_pending
+            self._wp_pending = 0
+        self._wp_groups.clear()
         self.wrong_path = False
         self._stall_until = now + REDIRECT_BUBBLE
         self.stats.bump("fetch_redirects")
@@ -140,19 +224,3 @@ class FetchStage:
         """True when the trace is exhausted and the pipe has drained."""
         return (self.trace_exhausted and not self.pipe
                 and not self.wrong_path and not self.replay_queue)
-
-    # ------------------------------------------------------------------
-
-    def _next(self, now: int) -> Optional[MicroOp]:
-        if self.wrong_path:
-            uop = self.trace.wrong_path_uop(0, self._wrong_path_pc)
-            uop.wrong_path = True
-            self._wrong_path_pc += 1
-            return uop
-        if self.replay_queue:
-            return self.replay_queue.popleft()
-        uop = self.trace.next_uop()
-        if uop is None:
-            self.trace_exhausted = True
-            return None
-        return uop

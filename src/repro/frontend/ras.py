@@ -1,8 +1,18 @@
-"""Return address stack — 32 entries (Table 1), circular overwrite."""
+"""Return address stack — 32 entries (Table 1), circular overwrite.
+
+Checkpoints are copy-on-write: the branch unit snapshots the RAS on
+*every* predicted branch, and copying the full stack each time dominated
+branch prediction cost. Only :meth:`push` mutates the stack contents
+(:meth:`pop` just moves the top pointer, which the snapshot captures as
+scalars), so the stack tuple is cached and reused until the next push —
+conditional-branch-only code takes exactly one copy per simulation, and
+call-heavy code one copy per call, never more than the old
+copy-per-snapshot scheme. Memory stays O(entries).
+"""
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
 class ReturnAddressStack:
@@ -15,12 +25,14 @@ class ReturnAddressStack:
         self._stack: List[int] = [0] * entries
         self._top = 0          # index of next push slot
         self._depth = 0        # live entries (saturates at `entries`)
+        self._stack_snapshot: Optional[Tuple[int, ...]] = None
         self.pushes = 0
         self.pops = 0
         self.underflows = 0
 
     def push(self, return_pc: int) -> None:
         self._stack[self._top] = return_pc
+        self._stack_snapshot = None        # contents changed: drop cache
         self._top = (self._top + 1) % self.entries
         self._depth = min(self._depth + 1, self.entries)
         self.pushes += 1
@@ -36,9 +48,13 @@ class ReturnAddressStack:
         return self._stack[self._top]
 
     def snapshot(self) -> Tuple[int, int, Tuple[int, ...]]:
-        """Checkpoint for squash recovery."""
-        return (self._top, self._depth, tuple(self._stack))
+        """Checkpoint for squash recovery (copy-on-write stack tuple)."""
+        stack = self._stack_snapshot
+        if stack is None:
+            stack = self._stack_snapshot = tuple(self._stack)
+        return (self._top, self._depth, stack)
 
     def restore(self, snap: Tuple[int, int, Tuple[int, ...]]) -> None:
         self._top, self._depth, stack = snap
         self._stack = list(stack)
+        self._stack_snapshot = stack

@@ -23,6 +23,10 @@ _CTR_MAX = 3          # 3-bit signed counter range [-4, 3]
 _CTR_MIN = -4
 _BIMODAL_MAX = 3      # 2-bit saturating
 
+#: Index of the history snapshot in the predict-state tuple (the branch
+#: unit rewinds speculative history through it on repair).
+STATE_HISTORY = 4
+
 
 class _TaggedEntry:
     __slots__ = ("tag", "ctr", "useful")
@@ -56,6 +60,14 @@ class TageLite:
                 length = self.history_lengths[-1] + 1
             self.history_lengths.append(length)
         self._history = 0          # global history as an int bitvector
+        # Hot-path hash precomputes: per-table history masks and the
+        # shared index/tag widths (predict hashes every table per branch).
+        self._hist_masks = [(1 << length) - 1
+                            for length in self.history_lengths]
+        self._index_bits = cfg.table_entries.bit_length() - 1
+        self._index_mask = cfg.table_entries - 1
+        self._tag_mask = (1 << cfg.tag_bits) - 1
+        self._fold_memo = {}
         self._rng_state = seed or 1
         self.predictions = 0
         self.mispredictions = 0
@@ -74,25 +86,37 @@ class TageLite:
 
     # -- hashing ----------------------------------------------------------
 
+    #: The fold memo resets when it reaches this many entries — synthetic
+    #: and loopy codes revisit a small set of (history, width) pairs, so
+    #: hit rates are high and the cap only guards pathological histories.
+    _FOLD_MEMO_LIMIT = 1 << 15
+
     def _fold(self, value: int, bits: int) -> int:
-        folded = 0
-        mask = (1 << bits) - 1
-        while value:
-            folded ^= value & mask
-            value >>= bits
+        memo = self._fold_memo
+        key = (value, bits)
+        folded = memo.get(key)
+        if folded is None:
+            folded = 0
+            mask = (1 << bits) - 1
+            v = value
+            while v:
+                folded ^= v & mask
+                v >>= bits
+            if len(memo) >= self._FOLD_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = folded
         return folded
 
     def _index(self, pc: int, table: int) -> int:
-        bits = self.config.table_entries.bit_length() - 1
-        hist = self._history & ((1 << self.history_lengths[table]) - 1)
+        bits = self._index_bits
+        hist = self._history & self._hist_masks[table]
         return (self._fold(hist, bits) ^ (pc >> 2) ^ (pc >> (bits + 2))
-                ^ table) & (self.config.table_entries - 1)
+                ^ table) & self._index_mask
 
     def _tag(self, pc: int, table: int) -> int:
-        bits = self.config.tag_bits
-        hist = self._history & ((1 << self.history_lengths[table]) - 1)
-        return (self._fold(hist, bits) ^ (pc >> 2) ^ (pc * 0x9E3779B1 >> 13)
-                ) & ((1 << bits) - 1)
+        hist = self._history & self._hist_masks[table]
+        return (self._fold(hist, self.config.tag_bits) ^ (pc >> 2)
+                ^ (pc * 0x9E3779B1 >> 13)) & self._tag_mask
 
     def _bimodal_index(self, pc: int) -> int:
         return (pc >> 2) & (self.config.bimodal_entries - 1)
@@ -108,12 +132,14 @@ class TageLite:
 
     # -- predict / update --------------------------------------------------
 
-    def predict(self, pc: int) -> Tuple[bool, dict]:
+    def predict(self, pc: int) -> Tuple[bool, tuple]:
         """Predict ``pc``; returns (taken, state-for-update).
 
         The state captures provider/alternate components and the history
-        snapshot, and must be passed back to :meth:`update`. Global history
-        is speculatively updated with the prediction.
+        snapshot — a plain tuple ``(provider, provider_idx, alt_pred,
+        pred, history, pc)`` (see :data:`STATE_HISTORY`); it must be
+        passed back to :meth:`update`. Global history is speculatively
+        updated with the prediction.
         """
         self.predictions += 1
         provider = -1
@@ -135,33 +161,24 @@ class TageLite:
             alt_pred = bimodal_pred
         if pred is None:
             pred = bimodal_pred
-        state = {
-            "provider": provider,
-            "provider_idx": provider_idx,
-            "alt_pred": alt_pred,
-            "pred": pred,
-            "history": self._history,
-            "pc": pc,
-        }
+        state = (provider, provider_idx, alt_pred, pred, self._history, pc)
         self._push_history(pred)
         return pred, state
 
-    def update(self, taken: bool, state: dict) -> None:
+    def update(self, taken: bool, state: tuple) -> None:
         """Train with the actual outcome; call once per predicted branch."""
-        pc = state["pc"]
-        pred = state["pred"]
+        provider, provider_idx, alt_pred, pred, history, pc = state
         correct = pred == taken
         if not correct:
             self.mispredictions += 1
 
         saved_history = self._history
-        self._history = state["history"]   # rebuild indices as at predict
+        self._history = history            # rebuild indices as at predict
         try:
-            provider = state["provider"]
             if provider >= 0:
-                entry = self._tables[provider][state["provider_idx"]]
+                entry = self._tables[provider][provider_idx]
                 entry.ctr = _saturate(entry.ctr + (1 if taken else -1))
-                if pred != state["alt_pred"]:
+                if pred != alt_pred:
                     entry.useful = min(entry.useful + 1, 3) if correct \
                         else max(entry.useful - 1, 0)
             else:
@@ -178,7 +195,7 @@ class TageLite:
                 # Repair the speculative history: replace the mispredicted
                 # bit with the actual outcome (idempotent with the branch
                 # unit's own repair, which computes the same value).
-                self._history = state["history"]
+                self._history = history
                 self._push_history(taken)
 
     def _allocate(self, pc: int, taken: bool, provider: int) -> None:

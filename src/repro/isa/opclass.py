@@ -78,3 +78,9 @@ UNPIPELINED = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
 
 MEMORY_OPS = frozenset({OpClass.LOAD, OpClass.STORE})
 BRANCH_OPS = frozenset({OpClass.BRANCH, OpClass.CALL, OpClass.RET})
+
+#: Hot-path views of the tables above, indexable by ``int(opclass)``
+#: (OpClass is an IntEnum): issue consults these per selected µop.
+FU_KIND_BY_OP = tuple(FU_KIND[op] for op in OpClass)
+EXEC_LATENCY_BY_OP = tuple(EXEC_LATENCY[op] for op in OpClass)
+UNPIPELINED_BY_OP = tuple(op in UNPIPELINED for op in OpClass)

@@ -35,12 +35,35 @@ class WrongPathSynth:
         self.seed = seed
         self._rng = random.Random(seed ^ WRONG_PATH_SEED_SALT)
 
+    def _draw_variant(self) -> int:
+        # Uniform draw from {0,1,2} by 2-bit rejection sampling — the
+        # exact consumption pattern ``Random.randrange(3)`` has always
+        # used, spelled out so the variant stream (and thus every golden
+        # SimStats file) is pinned to this module, not to the stdlib's
+        # internals. Also measurably faster than randrange's argument
+        # handling: fetch synthesizes one draw per wrong-path µop, and
+        # :meth:`skip` burns through millions on long replay episodes.
+        getrandbits = self._rng.getrandbits
+        r = getrandbits(2)
+        while r >= 3:
+            r = getrandbits(2)
+        return r
+
     def synth(self, seq: int, pc: int) -> MicroOp:
-        variant = self._rng.randrange(3)
+        variant = self._draw_variant()
         src = 0 if variant != 2 else 1
         dst = 1 if variant != 1 else 0
         return MicroOp(seq=seq, pc=pc, opclass=OpClass.INT_ALU,
                        srcs=[src], dst=dst, wrong_path=True)
+
+    def skip(self, count: int) -> None:
+        """Advance the variant stream by ``count`` draws without building
+        µops — the bulk discard the lazy frontend performs at redirect."""
+        getrandbits = self._rng.getrandbits
+        for _ in range(count):
+            r = getrandbits(2)
+            while r >= 3:
+                r = getrandbits(2)
 
 
 class TraceSource:
@@ -59,6 +82,21 @@ class TraceSource:
         """
         return MicroOp(seq=seq, pc=pc, opclass=OpClass.INT_ALU,
                        srcs=[0], dst=1, wrong_path=True)
+
+    def skip_wrong_path(self, count: int) -> None:
+        """Discard ``count`` wrong-path µops from the synthesis stream.
+
+        The lazy frontend (:class:`repro.frontend.fetch.FetchStage`) only
+        materializes wrong-path µops that actually reach Rename; the rest
+        of an episode is discarded in bulk at redirect through this hook.
+        Sources whose wrong path is seeded **must** advance their stream
+        exactly as if the µops had been built, so later episodes see the
+        same draws as an eager frontend. The base implementation
+        synthesizes and drops (correct for any source); seeded sources
+        override with a cheap stream advance.
+        """
+        for _ in range(count):
+            self.wrong_path_uop(0, 0)
 
 
 class ListTrace(TraceSource):
@@ -94,6 +132,9 @@ class ListTrace(TraceSource):
 
     def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
         return self._synth.synth(seq, pc)
+
+    def skip_wrong_path(self, count: int) -> None:
+        self._synth.skip(count)
 
     def reset(self) -> None:
         self._pos = 0

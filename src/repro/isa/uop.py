@@ -16,6 +16,13 @@ from typing import List, Optional
 
 from repro.isa.opclass import BRANCH_OPS, MEMORY_OPS, OpClass
 
+#: OpClass -> (is_load, is_store, is_mem, is_branch), indexed by value.
+_KIND_FLAGS = tuple(
+    (op == OpClass.LOAD, op == OpClass.STORE,
+     op in MEMORY_OPS, op in BRANCH_OPS)
+    for op in OpClass
+)
+
 
 class MicroOp:
     """One dynamic µop."""
@@ -24,12 +31,17 @@ class MicroOp:
         # architectural
         "seq", "pc", "opclass", "srcs", "dst", "mem_addr", "mem_size",
         "taken", "target", "wrong_path",
+        # kind flags (precomputed from opclass; the pipeline reads these
+        # millions of times per run — a property doing enum/set work per
+        # read was a measurable share of the cycle loop)
+        "is_load", "is_store", "is_mem", "is_branch",
         # branch prediction state (filled at fetch)
         "pred_taken", "pred_target", "mispredicted", "bp_state",
         # rename state
         "psrcs", "pdst", "prev_pdst", "rob_idx", "lsq_idx",
         # scheduling state
-        "in_iq", "pending", "store_dep", "issue_cycle", "exec_start",
+        "in_iq", "in_ready", "pending", "store_dep", "issue_cycle",
+        "exec_start",
         "actual_latency", "promised_latency", "executed", "completed",
         "num_issues", "spec_woken", "replay_pending", "squashed", "dead",
         # memory outcome
@@ -74,6 +86,7 @@ class MicroOp:
         self.lsq_idx = -1
 
         self.in_iq = False
+        self.in_ready = False
         self.pending = 0
         self.store_dep = None
         self.issue_cycle = -1
@@ -95,23 +108,9 @@ class MicroOp:
         self.commit_cycle = -1
         self.was_critical = False
 
-    # -- classification ------------------------------------------------
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass == OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass == OpClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.opclass in MEMORY_OPS
-
-    @property
-    def is_branch(self) -> bool:
-        return self.opclass in BRANCH_OPS
+        # Classification: plain attributes, precomputed once.
+        (self.is_load, self.is_store,
+         self.is_mem, self.is_branch) = _KIND_FLAGS[opclass]
 
     def clone_arch(self, seq: int = 0) -> "MicroOp":
         """Fresh dynamic instance carrying only the architectural fields.

@@ -23,6 +23,9 @@ class SetAssocCache:
         self.assoc = config.assoc
         self._offset_bits = log2_int(config.line_bytes)
         self._index_mask = self.num_sets - 1
+        # Shift from line address to tag; 0 when direct-mapped-by-one-set
+        # (a 0-bit shift is the identity, so no special case is needed).
+        self._set_bits = log2_int(self.num_sets) if self.num_sets > 1 else 0
         # Per set: tag -> LRU stamp. Small dicts; max len == associativity.
         self._sets: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
         self._stamp = 0
@@ -35,11 +38,10 @@ class SetAssocCache:
         return addr >> self._offset_bits
 
     def set_index(self, addr: int) -> int:
-        return self.line_addr(addr) & self._index_mask
+        return (addr >> self._offset_bits) & self._index_mask
 
     def tag_of(self, addr: int) -> int:
-        return self.line_addr(addr) >> log2_int(self.num_sets) if self.num_sets > 1 \
-            else self.line_addr(addr)
+        return (addr >> self._offset_bits) >> self._set_bits
 
     # -- operations -------------------------------------------------------
 
@@ -49,8 +51,9 @@ class SetAssocCache:
         Does *not* allocate on a miss — callers decide fill timing.
         """
         self.accesses += 1
-        cache_set = self._sets[self.set_index(addr)]
-        tag = self.tag_of(addr)
+        line = addr >> self._offset_bits
+        cache_set = self._sets[line & self._index_mask]
+        tag = line >> self._set_bits
         if tag in cache_set:
             if update_lru:
                 self._stamp += 1
@@ -61,13 +64,16 @@ class SetAssocCache:
 
     def probe(self, addr: int) -> bool:
         """Hit/miss check with no statistics and no LRU update."""
-        return self.tag_of(addr) in self._sets[self.set_index(addr)]
+        line = addr >> self._offset_bits
+        return (line >> self._set_bits) in self._sets[line & self._index_mask]
 
     def fill(self, addr: int) -> Optional[int]:
         """Insert the line holding ``addr``; returns the evicted line
         address (or ``None`` if no eviction was needed / already present)."""
-        cache_set = self._sets[self.set_index(addr)]
-        tag = self.tag_of(addr)
+        line = addr >> self._offset_bits
+        set_idx = line & self._index_mask
+        cache_set = self._sets[set_idx]
+        tag = line >> self._set_bits
         self._stamp += 1
         if tag in cache_set:
             cache_set[tag] = self._stamp
@@ -76,8 +82,7 @@ class SetAssocCache:
         if len(cache_set) >= self.assoc:
             victim_tag = min(cache_set, key=cache_set.get)
             del cache_set[victim_tag]
-            set_idx = self.set_index(addr)
-            victim_line = (victim_tag << log2_int(self.num_sets)) | set_idx \
+            victim_line = (victim_tag << self._set_bits) | set_idx \
                 if self.num_sets > 1 else victim_tag
         cache_set[tag] = self._stamp
         return victim_line

@@ -1,0 +1,44 @@
+"""Performance subsystem: instrumentation, benchmarks, regression gates.
+
+Three layers, bottom-up:
+
+* :mod:`repro.perf.instrument` — a :class:`PhaseProfile` that the
+  simulator fills with per-phase wall time (fetch / rename / issue /
+  execute / writeback / commit) and event counters (replay storms).
+  Attaching one swaps :meth:`Simulator.step` for an instrumented twin;
+  with none attached the hot loop is untouched.
+* :mod:`repro.perf.bench` — the benchmark definitions (headline /
+  table2 / trace), the :class:`BenchResult` JSON schema with provenance
+  (git sha, python, host), and ``write_result`` producing the
+  ``BENCH_<name>.json`` trajectory files.
+* :mod:`repro.perf.gate` — the regression check the CI perf gate runs:
+  compare a fresh result against a committed baseline, normalized by
+  each run's interpreter-speed calibration so the gate measures the
+  *simulator*, not the runner hardware.
+
+Everything is reachable from the CLI: ``repro bench`` runs the suite,
+writes the JSON files and (with ``--baseline``) enforces the gate.
+"""
+
+from repro.perf.bench import (
+    BENCHMARKS,
+    BenchResult,
+    bench_filename,
+    calibrate,
+    run_benchmark,
+    write_result,
+)
+from repro.perf.gate import GateFailure, check_regression
+from repro.perf.instrument import PhaseProfile
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchResult",
+    "GateFailure",
+    "PhaseProfile",
+    "bench_filename",
+    "calibrate",
+    "check_regression",
+    "run_benchmark",
+    "write_result",
+]

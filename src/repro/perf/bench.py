@@ -1,0 +1,321 @@
+"""Benchmark definitions and the ``BenchResult`` trajectory schema.
+
+A *benchmark* here measures simulator **throughput** (µops simulated per
+wall second), not simulated performance — the IPC the cells produce is
+already covered by the figure suite and the golden tests. Three
+benchmarks track the hot paths that matter:
+
+* ``headline`` — the paper's Figure-8 grid (Baseline_0 + SpecSched_4 +
+  _Combined + _Crit), the sweep every headline number derives from;
+* ``table2``  — Baseline_0 across the workload set (the pure in-order
+  frontend / OoO backend loop without replay machinery);
+* ``trace``   — binary-trace capture and replay-decode throughput of the
+  :mod:`repro.traces.format` reader feeding the front end.
+
+Every run produces a :class:`BenchResult` with provenance (git sha,
+python version, host) and a *calibration* figure — a fixed pure-Python
+spin loop timed on the same interpreter — so two results from different
+machines can be compared as ``uops_per_sec / calibration`` ratios. The
+``repro bench`` CLI writes each result to ``BENCH_<name>.json``; the
+regression gate lives in :mod:`repro.perf.gate`.
+
+Cells always run serially with the result cache bypassed: a benchmark
+that serves cached stats measures nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.common.stats import SimStats
+from repro.experiments.engine import cell_payload, simulate_payload
+from repro.experiments.figures import fig8_sweep
+from repro.experiments.runner import Settings
+from repro.perf.instrument import PhaseProfile
+from repro.traces.format import FileTrace, capture
+from repro.traces.registry import resolve_workload
+
+#: Bumped when the BenchResult JSON layout changes.
+BENCH_SCHEMA = 1
+
+#: Workloads for ``--quick`` runs: one high-IPC, one miss-heavy, one
+#: bank-conflict-prone, one high-IPC *and* high-miss.
+QUICK_WORKLOADS: Tuple[str, ...] = ("gzip", "mcf", "swim", "xalancbmk")
+
+#: Volumes for ``--quick`` runs (fixed: quick results must be comparable
+#: across runs regardless of REPRO_* scaling knobs).
+QUICK_SETTINGS = Settings(workloads=QUICK_WORKLOADS, warmup_uops=1_000,
+                          measure_uops=8_000,
+                          functional_warmup_uops=20_000, seed=1)
+
+#: µops captured/decoded by the ``trace`` benchmark.
+TRACE_BENCH_UOPS = 60_000
+TRACE_BENCH_UOPS_QUICK = 20_000
+
+
+# ---------------------------------------------------------------------------
+# Result schema
+
+
+@dataclass
+class BenchResult:
+    """One benchmark run: metrics + provenance, JSON round-trippable."""
+
+    name: str
+    metrics: Dict[str, float]
+    provenance: Dict[str, Any]
+    quick: bool = False
+    calibration_ops_per_sec: float = 0.0
+    phases: Dict[str, float] = field(default_factory=dict)
+    schema: int = BENCH_SCHEMA
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchResult":
+        if not isinstance(data, dict):
+            raise ValueError("bench result must be a JSON object")
+        unknown = set(data) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown bench result fields: {sorted(unknown)}")
+        for required in ("name", "metrics"):
+            if required not in data:
+                raise ValueError(f"bench result missing {required!r}")
+        if data.get("schema", BENCH_SCHEMA) != BENCH_SCHEMA:
+            raise ValueError(
+                f"bench result schema {data.get('schema')} (this build "
+                f"reads {BENCH_SCHEMA})")
+        if not isinstance(data["metrics"], dict):
+            raise ValueError("bench result metrics must be an object")
+        return cls(
+            name=data["name"],
+            metrics={k: float(v) for k, v in data["metrics"].items()},
+            provenance=dict(data.get("provenance") or {}),
+            quick=bool(data.get("quick", False)),
+            calibration_ops_per_sec=float(
+                data.get("calibration_ops_per_sec", 0.0)),
+            phases=dict(data.get("phases") or {}),
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    def write(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path) -> "BenchResult":
+        try:
+            data = json.loads(Path(path).read_text())
+        except ValueError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+        return cls.from_dict(data)
+
+
+def bench_filename(name: str) -> str:
+    """The trajectory file a benchmark writes: ``BENCH_<name>.json``."""
+    return f"BENCH_{name}.json"
+
+
+def write_result(result: BenchResult, out_dir=".") -> Path:
+    return result.write(Path(out_dir) / bench_filename(result.name))
+
+
+# ---------------------------------------------------------------------------
+# Provenance + calibration
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=Path(__file__).resolve().parent)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def provenance(settings: Settings) -> Dict[str, Any]:
+    """Everything needed to interpret a result later: code + machine."""
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "host": platform.node() or "unknown",
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workloads": list(settings.workloads),
+        "warmup_uops": settings.warmup_uops,
+        "measure_uops": settings.measure_uops,
+        "functional_warmup_uops": settings.functional_warmup_uops,
+        "seed": settings.seed,
+    }
+
+
+def _spin(n: int) -> int:
+    x = 0
+    for i in range(n):
+        x = (x * 31 + i) & 0xFFFFFFFF
+    return x
+
+
+def calibrate(target_seconds: float = 0.2) -> float:
+    """Interpreter-speed reference: ops/sec of a fixed pure-Python loop.
+
+    Committed baselines carry this figure so the CI gate can compare
+    ``uops_per_sec / calibration`` *ratios* — a slower CI runner scales
+    both numerator and denominator, a slower simulator only the first.
+    """
+    chunk = 100_000
+    ops = 0
+    start = time.perf_counter()
+    deadline = start + target_seconds
+    while True:
+        _spin(chunk)
+        ops += chunk
+        now = time.perf_counter()
+        if now >= deadline:
+            return ops / (now - start)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark bodies
+
+
+def _settings(quick: bool) -> Settings:
+    return QUICK_SETTINGS if quick else Settings.from_env()
+
+
+def _run_grid(sweep_settings: Settings, series,
+              profile: Optional[PhaseProfile]) -> Dict[str, float]:
+    """Simulate a (series x workloads) grid serially; throughput metrics."""
+    resolved = {name: resolve_workload(name)
+                for name in sweep_settings.workloads}
+    payloads = []
+    for request in series:
+        for name in sweep_settings.workloads:
+            payloads.append(cell_payload(
+                request.preset, resolved[name], banked=request.banked,
+                load_ports=request.load_ports,
+                warmup_uops=sweep_settings.warmup_uops,
+                measure_uops=sweep_settings.measure_uops,
+                functional_warmup_uops=sweep_settings.functional_warmup_uops,
+                seed=sweep_settings.seed))
+    committed = 0
+    cycles = 0
+    start = time.perf_counter()
+    for payload in payloads:
+        stats = SimStats.from_dict(
+            simulate_payload(payload, phase_profile=profile))
+        committed += stats.committed_uops
+        cycles += stats.cycles
+    elapsed = time.perf_counter() - start
+    return {
+        "uops_per_sec": committed / elapsed if elapsed else 0.0,
+        "cycles_per_sec": cycles / elapsed if elapsed else 0.0,
+        "wall_seconds": elapsed,
+        "cells": float(len(payloads)),
+        "committed_uops": float(committed),
+        "cycles": float(cycles),
+    }
+
+
+def bench_headline(quick: bool,
+                   profile: Optional[PhaseProfile] = None) -> BenchResult:
+    """The Figure-8 grid — the sweep behind every headline number."""
+    settings = _settings(quick)
+    metrics = _run_grid(settings, fig8_sweep().series, profile)
+    return _finish("headline", metrics, settings, quick, profile)
+
+
+def bench_table2(quick: bool,
+                 profile: Optional[PhaseProfile] = None) -> BenchResult:
+    """Baseline_0 across the workload set (no replay machinery)."""
+    from repro.experiments.figures import BASELINE
+
+    settings = _settings(quick)
+    metrics = _run_grid(settings, [BASELINE], profile)
+    return _finish("table2", metrics, settings, quick, profile)
+
+
+def bench_trace(quick: bool,
+                profile: Optional[PhaseProfile] = None) -> BenchResult:
+    """Binary-trace capture + replay-decode throughput."""
+    settings = _settings(quick)
+    uops = TRACE_BENCH_UOPS_QUICK if quick else TRACE_BENCH_UOPS
+    workload = resolve_workload(settings.workloads[0])
+    fd, path = tempfile.mkstemp(suffix=".trc")
+    os.close(fd)
+    try:
+        start = time.perf_counter()
+        info = capture(workload.build_trace(settings.seed), path, uops,
+                       wp_seed=settings.seed)
+        record_elapsed = time.perf_counter() - start
+        # Decode through FileTrace.next_uop — the exact replay path that
+        # feeds the frontend (batched frame decode), so the gated metric
+        # moves when that path does.
+        replay = FileTrace(path)
+        start = time.perf_counter()
+        decoded = 0
+        while replay.next_uop() is not None:
+            decoded += 1
+        decode_elapsed = time.perf_counter() - start
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    metrics = {
+        "record_uops_per_sec": (info.uop_count / record_elapsed
+                                if record_elapsed else 0.0),
+        "replay_uops_per_sec": (decoded / decode_elapsed
+                                if decode_elapsed else 0.0),
+        "wall_seconds": record_elapsed + decode_elapsed,
+        "uops": float(info.uop_count),
+        "file_bytes": float(info.file_bytes),
+    }
+    return _finish("trace", metrics, settings, quick, profile)
+
+
+def _finish(name: str, metrics: Dict[str, float], settings: Settings,
+            quick: bool, profile: Optional[PhaseProfile]) -> BenchResult:
+    return BenchResult(
+        name=name,
+        metrics=metrics,
+        provenance=provenance(settings),
+        quick=quick,
+        calibration_ops_per_sec=calibrate(),
+        phases=profile.as_dict() if profile is not None else {},
+    )
+
+
+#: name -> runner. Order is the default execution order.
+BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
+    "headline": bench_headline,
+    "table2": bench_table2,
+    "trace": bench_trace,
+}
+
+
+def run_benchmark(name: str, quick: bool = False,
+                  profile: bool = False) -> BenchResult:
+    """Run one benchmark by name (KeyError on unknown names)."""
+    if name not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: "
+            f"{', '.join(BENCHMARKS)}")
+    phase_profile = PhaseProfile() if profile else None
+    return BENCHMARKS[name](quick, phase_profile)

@@ -1,0 +1,108 @@
+"""The CI perf gate: compare a fresh result against a committed baseline.
+
+The committed ``benchmarks/baseline.json`` holds one :class:`BenchResult`
+per benchmark. :func:`check_regression` compares the *gated metric* of a
+fresh run against the baseline's, normalized by each run's calibration
+figure (see :func:`repro.perf.bench.calibrate`), and reports a failure
+when the normalized throughput dropped by more than ``max_regression``.
+
+Normalization is what lets a laptop-recorded baseline gate a CI runner:
+raw µops/sec track the machine, the ratio tracks the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+from repro.perf.bench import BENCH_SCHEMA, BenchResult
+
+#: Which metric gates each benchmark.
+GATED_METRICS: Dict[str, str] = {
+    "headline": "uops_per_sec",
+    "table2": "uops_per_sec",
+    "trace": "replay_uops_per_sec",
+}
+
+
+@dataclass(frozen=True)
+class GateFailure:
+    """One benchmark whose gated metric regressed past the limit."""
+
+    benchmark: str
+    metric: str
+    baseline: float           # normalized baseline value
+    current: float            # normalized current value
+    ratio: float              # current / baseline
+    limit: float              # minimum acceptable ratio
+
+    def __str__(self) -> str:
+        return (f"{self.benchmark}: {self.metric} at {self.ratio:.2f}x of "
+                f"baseline (limit {self.limit:.2f}x) — "
+                f"normalized {self.current:.1f} vs {self.baseline:.1f}")
+
+
+def _normalized(result: BenchResult, metric: str) -> float:
+    value = result.metrics.get(metric, 0.0)
+    calibration = result.calibration_ops_per_sec
+    return value / calibration if calibration > 0 else value
+
+
+def check_regression(current: BenchResult, baseline: BenchResult,
+                     max_regression: float = 0.2) -> List[GateFailure]:
+    """Empty list when ``current`` is within ``max_regression`` of
+    ``baseline`` on the benchmark's gated metric."""
+    if current.name != baseline.name:
+        raise ValueError(
+            f"comparing benchmark {current.name!r} against baseline for "
+            f"{baseline.name!r}")
+    if current.quick != baseline.quick:
+        raise ValueError(
+            f"benchmark {current.name!r}: quick={current.quick} run cannot "
+            f"be gated against a quick={baseline.quick} baseline (volumes "
+            f"differ)")
+    metric = GATED_METRICS.get(current.name, "uops_per_sec")
+    base_value = _normalized(baseline, metric)
+    if base_value <= 0.0:
+        return []           # nothing to gate against
+    cur_value = _normalized(current, metric)
+    limit = 1.0 - max_regression
+    ratio = cur_value / base_value
+    if ratio < limit:
+        return [GateFailure(benchmark=current.name, metric=metric,
+                            baseline=base_value, current=cur_value,
+                            ratio=ratio, limit=limit)]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Baseline files: {"schema": 1, "results": {name: BenchResult dict}}
+
+
+def write_baseline(results: Dict[str, BenchResult], path) -> Path:
+    path = Path(path)
+    payload = {"schema": BENCH_SCHEMA,
+               "results": {name: result.to_dict()
+                           for name, result in results.items()}}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_baseline(path) -> Dict[str, BenchResult]:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or not isinstance(
+            data.get("results"), dict):
+        raise ValueError(f"{path}: not a baseline file "
+                         f"(expected an object with 'results')")
+    if data.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: baseline schema {data.get('schema')} (this build "
+            f"reads {BENCH_SCHEMA})")
+    return {name: BenchResult.from_dict(entry)
+            for name, entry in data["results"].items()}

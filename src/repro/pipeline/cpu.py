@@ -23,6 +23,7 @@ Timing contract (Section 4.1 / Figure 1, with D = issue-to-execute delay):
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.backend.fu import FuPool
@@ -38,7 +39,7 @@ from repro.common.stats import CAUSE_BANK_CONFLICT, CAUSE_L1_MISS, SimStats
 from repro.core.composed import build_policy
 from repro.frontend.branch_unit import BranchUnit
 from repro.frontend.fetch import FetchStage
-from repro.isa.opclass import EXEC_LATENCY, OpClass
+from repro.isa.opclass import EXEC_LATENCY_BY_OP
 from repro.isa.trace import TraceSource
 from repro.isa.uop import MicroOp
 from repro.memory.hierarchy import MemoryHierarchy
@@ -56,7 +57,8 @@ class Simulator:
     DEADLOCK_LIMIT = 100_000
 
     def __init__(self, config: SimConfig, trace: TraceSource,
-                 stats: Optional[SimStats] = None) -> None:
+                 stats: Optional[SimStats] = None,
+                 phase_profile=None) -> None:
         config.validate()
         self.config = config
         self.trace = trace
@@ -91,6 +93,12 @@ class Simulator:
         self._issue_block_cycle = -1
         self._last_commit_cycle = 0
 
+        # Optional per-phase instrumentation (repro.perf). Swapping the
+        # bound method keeps the uninstrumented hot loop branch-free.
+        self.phase_profile = phase_profile
+        if phase_profile is not None:
+            self.step = self._step_profiled  # type: ignore[method-assign]
+
     # ==================================================================
     # driving
     # ==================================================================
@@ -102,13 +110,14 @@ class Simulator:
     def run(self, max_uops: Optional[int] = None,
             max_cycles: Optional[int] = None) -> SimStats:
         """Simulate until done / ``max_uops`` committed / ``max_cycles``."""
-        while not self.done:
-            if max_uops is not None and self.stats.committed_uops >= max_uops:
-                break
-            if max_cycles is not None and self.stats.cycles >= max_cycles:
-                break
-            self.step()
-        return self.stats
+        stats = self.stats
+        step = self.step
+        uop_budget = float("inf") if max_uops is None else max_uops
+        cycle_budget = float("inf") if max_cycles is None else max_cycles
+        while (not self.done and stats.committed_uops < uop_budget
+               and stats.cycles < cycle_budget):
+            step()
+        return stats
 
     def run_with_warmup(self, warmup_uops: int, measure_uops: int,
                         max_cycles: Optional[int] = None) -> SimStats:
@@ -128,22 +137,26 @@ class Simulator:
         structures.
         """
         l1d, l2 = self.hierarchy.l1d, self.hierarchy.l2
-        prefetcher = self.hierarchy.prefetcher
+        l1d_fill, l2_fill, l2_probe = l1d.fill, l2.fill, l2.probe
+        train = self.hierarchy.prefetcher.train_and_prefetch
+        predict = self.branch_unit.predict
+        resolve = self.branch_unit.resolve
+        next_uop = trace.next_uop
         line_bytes = self.config.memory.l2.line_bytes
         for _ in range(uops):
-            uop = trace.next_uop()
+            uop = next_uop()
             if uop is None:
                 return
             if uop.is_mem:
-                l1d.fill(uop.mem_addr)
-                if not l2.probe(uop.mem_addr):
-                    for line in prefetcher.train_and_prefetch(
-                            uop.pc, uop.mem_addr):
-                        l2.fill(line * line_bytes)
-                l2.fill(uop.mem_addr)
+                addr = uop.mem_addr
+                l1d_fill(addr)
+                if not l2_probe(addr):
+                    for line in train(uop.pc, addr):
+                        l2_fill(line * line_bytes)
+                l2_fill(addr)
             elif uop.is_branch:
-                uop.pred_taken, uop.pred_target = self.branch_unit.predict(uop)
-                self.branch_unit.resolve(uop)
+                uop.pred_taken, uop.pred_target = predict(uop)
+                resolve(uop)
 
     def step(self) -> None:
         now = self.now
@@ -168,30 +181,95 @@ class Simulator:
                 f"ROB={len(self.rob)}, IQ={len(self.iq)}, "
                 f"recovery={len(self.recovery)}")
 
+    def _step_profiled(self) -> None:
+        """`step` twin with per-phase wall timers (repro.perf.instrument).
+
+        Installed over :meth:`step` at construction when a
+        ``phase_profile`` is supplied; keep the phase bodies in lockstep
+        with :meth:`step` when editing either.
+        """
+        profile = self.phase_profile
+        stats = self.stats
+        storms_before = stats.squash_events_miss + stats.squash_events_bank
+        committed_before = stats.committed_uops
+        now = self.now
+        self._l1_miss_this_cycle = False
+        self._l1_access_this_cycle = False
+        self.fus.new_cycle()
+        t0 = perf_counter()
+        self._commit(now)
+        t1 = perf_counter()
+        self._complete(now)
+        t2 = perf_counter()
+        self._execute(now)
+        t3 = perf_counter()
+        self.scoreboard.tick(now)
+        t4 = perf_counter()
+        self._issue(now)
+        t5 = perf_counter()
+        self._rename_dispatch(now)
+        t6 = perf_counter()
+        self.fetch.tick(now)
+        t7 = perf_counter()
+        self.policy.on_cycle(self._l1_miss_this_cycle,
+                             self._l1_access_this_cycle)
+        self.replay.prune(now)
+        t8 = perf_counter()
+        seconds = profile.seconds
+        seconds["commit"] += t1 - t0
+        seconds["writeback"] += t2 - t1
+        seconds["execute"] += t3 - t2
+        seconds["wakeup"] += t4 - t3
+        seconds["issue"] += t5 - t4
+        seconds["rename"] += t6 - t5
+        seconds["fetch"] += t7 - t6
+        seconds["bookkeep"] += t8 - t7
+        profile.cycles += 1
+        profile.replay_storms += (stats.squash_events_miss
+                                  + stats.squash_events_bank
+                                  - storms_before)
+        stats.cycles += 1
+        self.now = now + 1
+        profile.uops_committed += stats.committed_uops - committed_before
+        if now - self._last_commit_cycle > self.DEADLOCK_LIMIT:
+            raise SimulationError(
+                f"no commit for {self.DEADLOCK_LIMIT} cycles at cycle {now}; "
+                f"ROB={len(self.rob)}, IQ={len(self.iq)}, "
+                f"recovery={len(self.recovery)}")
+
     # ==================================================================
     # commit & complete
     # ==================================================================
 
     def _commit(self, now: int) -> None:
+        rob = self.rob
+        head = rob.head()
+        if head is None or not head.completed:
+            return
+        stats = self.stats
+        policy = self.policy
+        renamer = self.renamer
         retired = 0
-        while retired < self.config.core.retire_width:
-            head = self.rob.head()
+        width = self.config.core.retire_width
+        while retired < width:
             if head is None or not head.completed:
                 break
             if head.wrong_path:
                 raise SimulationError(
                     f"wrong-path µop reached ROB head: {head!r}")
-            self.rob.retire_head()
-            self.renamer.commit(head)
+            rob.retire_head()
+            renamer.commit(head)
             if head.is_mem:
                 self.lsq.release(head)
             head.commit_cycle = now
-            self.stats.committed_uops += 1
-            self._last_commit_cycle = now
+            stats.committed_uops += 1
             if head.is_load:
-                self.policy.on_load_commit(head)
-            self.policy.on_uop_commit(head)
+                policy.on_load_commit(head)
+            policy.on_uop_commit(head)
             retired += 1
+            head = rob.head()
+        if retired:
+            self._last_commit_cycle = now
 
     def _complete(self, now: int) -> None:
         entries = self._completion_queue.pop(now, None)
@@ -206,8 +284,12 @@ class Simulator:
         if cycle <= now:
             self.rob.note_completed(uop)
         else:
-            self._completion_queue.setdefault(cycle, []).append(
-                (uop, uop.num_issues))
+            queue = self._completion_queue
+            entry = queue.get(cycle)
+            if entry is None:
+                queue[cycle] = [(uop, uop.num_issues)]
+            else:
+                entry.append((uop, uop.num_issues))
 
     # ==================================================================
     # execute
@@ -236,7 +318,7 @@ class Simulator:
         elif uop.is_branch:
             self._execute_branch(uop, now)
         else:
-            latency = EXEC_LATENCY[uop.opclass]
+            latency = EXEC_LATENCY_BY_OP[uop.opclass]
             self._schedule_completion(uop, now + latency - 1, now)
         if uop.is_mem:
             self.iq.release(uop)
@@ -354,15 +436,18 @@ class Simulator:
             if not u.executed and (u.num_issues == 0 or u.replay_pending)
         ]
         waiting.extend(u for u in self.recovery.members() if u.replay_pending)
-        self.iq.ready.clear()
-        self.recovery.ready.clear()
+        self.iq.clear_ready()
+        self.recovery.clear_ready()
+        rewatch = self.scoreboard.rewatch
+        route_ready = self._route_ready
         for uop in waiting:
-            self.scoreboard.drop_waiter(uop)
-            self.scoreboard.watch(uop)
-            if uop.store_dep is not None and not uop.store_dep.executed:
-                uop.pending += 1    # still registered in the LSQ waiter list
-            if uop.pending == 0:
-                self._route_ready(uop)
+            pending = rewatch(uop)
+            store_dep = uop.store_dep
+            if store_dep is not None and not store_dep.executed:
+                pending = uop.pending = pending + 1
+                # still registered in the LSQ waiter list
+            if pending == 0:
+                route_ready(uop)
 
     # ==================================================================
     # issue
@@ -386,9 +471,13 @@ class Simulator:
         budget = self.config.core.issue_width
         # Recovery buffer has priority over the scheduler; the IQ fills
         # the holes in replayed issue groups (Section 3.1).
-        budget = self._issue_from(self.recovery.take_ready(), budget, now)
+        ready = self.recovery.take_ready()
+        if ready:
+            budget = self._issue_from(ready, budget, now)
         if budget > 0:
-            self._issue_from(self.iq.take_ready(), budget, now)
+            ready = self.iq.take_ready()
+            if ready:
+                self._issue_from(ready, budget, now)
 
     def _issue_from(self, candidates: List[MicroOp], budget: int,
                     now: int) -> int:
@@ -413,9 +502,13 @@ class Simulator:
         uop.num_issues += 1
         uop.squashed = False
         uop.replay_pending = False
-        uop.exec_start = now + self.delay + 1
-        self._exec_queue.setdefault(uop.exec_start, []).append(
-            (uop, uop.num_issues))
+        exec_start = uop.exec_start = now + self.delay + 1
+        queue = self._exec_queue
+        entry = queue.get(exec_start)
+        if entry is None:
+            queue[exec_start] = [(uop, uop.num_issues)]
+        else:
+            entry.append((uop, uop.num_issues))
         self.replay.note_issue(uop, now)
 
         stats = self.stats
@@ -443,7 +536,7 @@ class Simulator:
                 if uop.pdst >= 0:
                     self.scoreboard.unready(uop.pdst)
         else:
-            latency = EXEC_LATENCY[uop.opclass]
+            latency = EXEC_LATENCY_BY_OP[uop.opclass]
             uop.spec_woken = True
             uop.promised_latency = latency
             if uop.pdst >= 0:
@@ -464,28 +557,35 @@ class Simulator:
     # ==================================================================
 
     def _rename_dispatch(self, now: int) -> None:
-        width = self.config.core.rename_width
-        uops = self.fetch.deliver(now, width)
-        for i, uop in enumerate(uops):
-            if (self.rob.full or self.iq.full
-                    or not self.renamer.can_rename(uop)
-                    or (uop.is_load and self.lsq.lq_full())
-                    or (uop.is_store and self.lsq.sq_full())):
-                self.fetch.undeliver(uops[i:], now)
+        # Peek/pop keeps stalled µops in the frontend pipe instead of the
+        # old deliver-everything-then-undeliver round trip, which paid a
+        # deque drain + refill every stalled cycle.
+        fetch = self.fetch
+        rob, iq, lsq = self.rob, self.iq, self.lsq
+        renamer, scoreboard = self.renamer, self.scoreboard
+        for _ in range(self.config.core.rename_width):
+            uop = fetch.peek(now)
+            if uop is None:
                 return
-            self.renamer.rename(uop)
+            if (rob.full or iq.full
+                    or not renamer.can_rename(uop)
+                    or (uop.is_load and lsq.lq_full())
+                    or (uop.is_store and lsq.sq_full())):
+                return
+            fetch.pop()
+            renamer.rename(uop)
             if uop.pdst >= 0:
-                self.scoreboard.unready(uop.pdst)
-            self.rob.allocate(uop)
-            self.iq.insert(uop)
-            self.scoreboard.watch(uop)
+                scoreboard.unready(uop.pdst)
+            rob.allocate(uop)
+            iq.insert(uop)
+            scoreboard.watch(uop)
             if uop.is_mem:
-                self.lsq.insert(uop)
+                lsq.insert(uop)
                 dep = self.store_sets.lookup_dependence(uop)
                 if dep is not None:
-                    self.lsq.add_store_dependence(uop, dep)
+                    lsq.add_store_dependence(uop, dep)
             if uop.pending == 0:
-                self.iq.make_ready(uop)
+                iq.make_ready(uop)
 
     # ==================================================================
     # squashes (branch misprediction, memory-order violation)

@@ -45,8 +45,9 @@ import hashlib
 import json
 import struct
 import zlib
+from collections import deque
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 from repro.isa.opclass import OpClass
 from repro.isa.trace import TraceSource, WrongPathSynth
@@ -340,14 +341,42 @@ def read_uops(path, limit: Optional[int] = None) -> Iterator[MicroOp]:
             emitted += 1
 
 
+def decode_frame(raw: bytes) -> Deque[MicroOp]:
+    """Decode one frame's records into µops in a single batch.
+
+    This is the front end's bulk decode path: one tight loop per ~4096
+    records instead of an iterator resumption + generator frame per µop,
+    which is what makes replay faster than live generation.
+    """
+    out: Deque[MicroOp] = deque()
+    append = out.append
+    by_value = _OPCLASS_BY_VALUE
+    for fields in RECORD.iter_unpack(raw):
+        pc, mem_addr, target, s0, s1, s2, dst, opclass, flags, mem_size \
+            = fields
+        srcs: List[int] = []
+        if s0 >= 0:
+            srcs.append(s0)
+            if s1 >= 0:
+                srcs.append(s1)
+                if s2 >= 0:
+                    srcs.append(s2)
+        append(MicroOp(seq=0, pc=pc, opclass=by_value[opclass],
+                       srcs=srcs, dst=dst if dst >= 0 else None,
+                       mem_addr=mem_addr, mem_size=mem_size,
+                       taken=bool(flags & _FLAG_TAKEN), target=target))
+    return out
+
+
 class FileTrace(TraceSource):
     """Replay a recorded trace as a :class:`TraceSource`.
 
-    Frames are decoded lazily one at a time, so replay is streaming (a
-    few hundred KB resident regardless of trace length). Wrong-path µops
-    come from the header-seeded :class:`WrongPathSynth` — the same stream
-    the live generator produced, which is what keeps replayed ``SimStats``
-    bit-identical to generate-live runs.
+    Frames are decoded lazily one whole frame at a time (the batched
+    decode path), so replay is streaming — a few hundred KB resident
+    regardless of trace length — while the per-µop cost is a deque pop.
+    Wrong-path µops come from the header-seeded :class:`WrongPathSynth` —
+    the same stream the live generator produced, which is what keeps
+    replayed ``SimStats`` bit-identical to generate-live runs.
     """
 
     def __init__(self, path, loop: bool = False) -> None:
@@ -356,29 +385,32 @@ class FileTrace(TraceSource):
         self._loop = loop
         self._synth = WrongPathSynth(self.info.wp_seed)
         self._frames = _iter_frames(self.path)
-        self._records: Iterator[tuple] = iter(())
+        self._batch: Deque[MicroOp] = deque()
         self.replayed = 0
 
     # -- TraceSource ---------------------------------------------------
 
     def next_uop(self) -> Optional[MicroOp]:
-        while True:
-            for fields in self._records:
-                self.replayed += 1
-                return decode_record(fields)
+        batch = self._batch
+        while not batch:
             frame = next(self._frames, None)
             if frame is None:
                 if not self._loop or not self.info.uop_count:
                     return None
                 self._frames = _iter_frames(self.path)
                 continue
-            self._records = RECORD.iter_unpack(frame)
+            batch = self._batch = decode_frame(frame)
+        self.replayed += 1
+        return batch.popleft()
 
     def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
         return self._synth.synth(seq, pc)
 
+    def skip_wrong_path(self, count: int) -> None:
+        self._synth.skip(count)
+
     def reset(self) -> None:
         self._synth = WrongPathSynth(self.info.wp_seed)
         self._frames = _iter_frames(self.path)
-        self._records = iter(())
+        self._batch = deque()
         self.replayed = 0

@@ -349,6 +349,9 @@ class ScenarioTrace(TraceSource):
     def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
         return self._wp_synth.synth(seq, pc)
 
+    def skip_wrong_path(self, count: int) -> None:
+        self._wp_synth.skip(count)
+
     # -- emission --------------------------------------------------------
 
     def _emit(self, state: MixState) -> MicroOp:

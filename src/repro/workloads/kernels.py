@@ -24,7 +24,7 @@ StoreLoadKernel     store->load pairs exercising forwarding + store sets
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.isa.opclass import OpClass
 from repro.isa.uop import MicroOp

@@ -149,3 +149,6 @@ class WorkloadTrace(TraceSource):
     def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
         """ALU-only wrong-path filler over the reserved registers."""
         return self._wp_synth.synth(seq, pc)
+
+    def skip_wrong_path(self, count: int) -> None:
+        self._wp_synth.skip(count)

@@ -1,5 +1,3 @@
-import pytest
-
 from repro.cli import build_parser, main
 from repro.core.hm_filter import FilterPrediction, HitMissFilter
 

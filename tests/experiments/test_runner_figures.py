@@ -10,7 +10,6 @@ from repro.experiments.report import (
     summary_line,
 )
 from repro.experiments.runner import (
-    ConfigRequest,
     Settings,
     _CACHE,
     run_experiment,
@@ -99,7 +98,7 @@ class TestReporting:
     def test_format_table_alignment(self):
         text = format_table(["a", "long_header"], [["xx", "1"], ["y", "22"]])
         lines = text.splitlines()
-        assert len({len(l) for l in lines}) == 1    # rectangular
+        assert len({len(line) for line in lines}) == 1    # rectangular
 
     def test_performance_table_has_gmean_row(self, fig5_result):
         text = performance_table(fig5_result)

@@ -63,8 +63,45 @@ def test_wrong_path_mode_on_mispredict():
     f.tick(0)
     assert f.wrong_path
     f.tick(1)
-    wrong = [u for _, u in f.pipe if u.wrong_path]
-    assert wrong, "wrong-path µops should be injected after the mispredict"
+    # Wrong-path fetch is lazy: tick(1) records a virtual full-width
+    # group instead of materializing µops into the pipe...
+    assert f.fetched_wrong == 8
+    assert not any(u.wrong_path for _, u in f.pipe)
+    # ...but delivery materializes them once their frontend traversal
+    # completes, younger than (and behind) the mispredicted branch.
+    out = f.deliver(1 + f.depth, 16)
+    wrong = [u for u in out if u.wrong_path]
+    assert len(wrong) == 8, "wrong-path µops must materialize on delivery"
+    seqs = [u.seq for u in out]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+def test_wrong_path_bulk_discard_matches_eager_stream():
+    # Two fetches with the same trace seed: one delivers wrong-path µops
+    # before redirecting, one redirects straight away (bulk discard).
+    # After the redirect both must synthesize identical wrong-path
+    # streams in the *next* episode — the bulk skip advances the
+    # synthesis RNG exactly as if the µops had been built.
+    br = MicroOp(0, 0x10, OpClass.BRANCH, srcs=[1], taken=True, target=0x40)
+
+    def episode(deliver_first):
+        trace = [alu(0), br.clone_arch(), alu(0x11), br.clone_arch()]
+        f = make_fetch(trace)
+        f.tick(0)                     # mispredict -> wrong-path mode
+        for cycle in range(1, 4):
+            f.tick(cycle)             # three virtual wrong-path groups
+        if deliver_first:
+            f.deliver(3 + f.depth, 10)
+        f.redirect(20)
+        f.tick(22)                    # next correct-path group (+ branch)
+        assert f.wrong_path           # second mispredict
+        f.tick(23)
+        return [(u.srcs[0], u.dst) for u in f.deliver(23 + f.depth, 30)
+                if u.wrong_path]
+
+    first = episode(deliver_first=False)
+    second = episode(deliver_first=True)
+    assert first and first == second
 
 
 def test_redirect_clears_and_stalls():

@@ -1,5 +1,3 @@
-import pytest
-
 from repro.common.config import MemoryConfig
 from repro.memory.hierarchy import MemoryHierarchy
 

@@ -1,0 +1,139 @@
+"""BenchResult schema round-trip + the regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import BENCH_SCHEMA, BenchResult, bench_filename
+from repro.perf.gate import (
+    GATED_METRICS,
+    check_regression,
+    read_baseline,
+    write_baseline,
+)
+
+
+def make_result(uops_per_sec=10_000.0, calibration=1_000_000.0,
+                name="headline", quick=True) -> BenchResult:
+    return BenchResult(
+        name=name,
+        metrics={"uops_per_sec": uops_per_sec, "wall_seconds": 1.5,
+                 "cells": 4.0},
+        provenance={"git_sha": "deadbeef", "python": "3.11.7",
+                    "host": "test"},
+        quick=quick,
+        calibration_ops_per_sec=calibration,
+        phases={"fetch_seconds": 0.5},
+    )
+
+
+class TestSchema:
+    def test_round_trip(self):
+        result = make_result()
+        clone = BenchResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+
+    def test_file_round_trip(self, tmp_path):
+        result = make_result()
+        path = result.write(tmp_path / bench_filename(result.name))
+        assert path.name == "BENCH_headline.json"
+        assert BenchResult.read(path) == result
+
+    def test_written_json_is_stable(self, tmp_path):
+        path = make_result().write(tmp_path / "r.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["metrics"]["uops_per_sec"] == 10_000.0
+        assert data["provenance"]["git_sha"] == "deadbeef"
+
+    @pytest.mark.parametrize("corrupt", [
+        {"metrics": {"x": 1.0}},                       # missing name
+        {"name": "x"},                                 # missing metrics
+        {"name": "x", "metrics": []},                  # wrong metrics type
+        {"name": "x", "metrics": {}, "schema": 99},    # future schema
+        {"name": "x", "metrics": {}, "bogus": 1},      # unknown field
+        [],                                            # not an object
+    ])
+    def test_malformed_rejected(self, corrupt):
+        with pytest.raises(ValueError):
+            BenchResult.from_dict(corrupt)
+
+    def test_read_rejects_non_json(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("not json {")
+        with pytest.raises(ValueError):
+            BenchResult.read(path)
+
+
+class TestGate:
+    def test_within_budget_passes(self):
+        base = make_result(uops_per_sec=10_000)
+        current = make_result(uops_per_sec=8_500)   # -15% < 20% budget
+        assert check_regression(current, base, max_regression=0.2) == []
+
+    def test_regression_fails(self):
+        base = make_result(uops_per_sec=10_000)
+        current = make_result(uops_per_sec=7_000)   # -30%
+        failures = check_regression(current, base, max_regression=0.2)
+        assert len(failures) == 1
+        failure = failures[0]
+        assert failure.benchmark == "headline"
+        assert failure.metric == "uops_per_sec"
+        assert failure.ratio == pytest.approx(0.7)
+        assert "0.70x" in str(failure)
+
+    def test_normalization_absorbs_machine_speed(self):
+        # Same simulator, half-speed machine: raw uops/sec halves but so
+        # does the calibration figure — the gate must pass.
+        base = make_result(uops_per_sec=10_000, calibration=2_000_000)
+        current = make_result(uops_per_sec=5_000, calibration=1_000_000)
+        assert check_regression(current, base, max_regression=0.2) == []
+
+    def test_speedup_never_fails(self):
+        base = make_result(uops_per_sec=10_000)
+        current = make_result(uops_per_sec=50_000)
+        assert check_regression(current, base) == []
+
+    def test_zero_baseline_not_gated(self):
+        base = make_result(uops_per_sec=0.0)
+        current = make_result(uops_per_sec=1.0)
+        assert check_regression(current, base) == []
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            check_regression(make_result(name="headline"),
+                             make_result(name="table2"))
+
+    def test_quick_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            check_regression(make_result(quick=True),
+                             make_result(quick=False))
+
+    def test_every_benchmark_has_a_gated_metric(self):
+        from repro.perf.bench import BENCHMARKS
+
+        assert set(GATED_METRICS) == set(BENCHMARKS)
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path):
+        results = {"headline": make_result(),
+                   "table2": make_result(name="table2")}
+        path = write_baseline(results, tmp_path / "baseline.json")
+        assert read_baseline(path) == results
+
+    def test_rejects_malformed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"results": "nope"}))
+        with pytest.raises(ValueError):
+            read_baseline(path)
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            read_baseline(path)
+        path.write_text(json.dumps(
+            {"schema": 99, "results": {}}))
+        with pytest.raises(ValueError):
+            read_baseline(path)

@@ -2,7 +2,6 @@
 
 from repro.isa.opclass import OpClass
 from repro.isa.trace import ListTrace
-from repro.isa.uop import MicroOp
 from repro.pipeline.cpu import Simulator
 
 from tests.conftest import alu, run_to_completion, spec_config, uop
