@@ -71,3 +71,19 @@ class FuPool:
 
     def loads_issued_this_cycle(self) -> int:
         return self._used[FuKind.LOAD_PORT]
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "used": list(self._used),
+            "busy_until": [list(units) for units in self._busy_until],
+            "grants": self.grants,
+            "rejections": self.rejections,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._used[:] = state["used"]
+        self._busy_until = [list(units) for units in state["busy_until"]]
+        self.grants = state["grants"]
+        self.rejections = state["rejections"]

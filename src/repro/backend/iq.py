@@ -118,3 +118,21 @@ class IssueQueue:
 
     def occupants(self) -> List[MicroOp]:
         return list(self._occupants)
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self, ctx) -> dict:
+        """Occupants are stored seq-sorted for a deterministic encoding
+        (the live set's iteration order never affects behaviour: select
+        order comes from the seq-sorted ready list)."""
+        return {
+            "occupants": ctx.refs(
+                sorted(self._occupants, key=lambda u: u.seq)),
+            "ready": ctx.refs(self.ready),
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self._occupants = set(ctx.uops(state["occupants"]))
+        self.ready = ctx.uops(state["ready"])
+        self.peak_occupancy = state["peak_occupancy"]

@@ -122,6 +122,26 @@ class LoadStoreQueue:
             self.forwards += 1
         return best
 
+    # -- state protocol (repro.checkpoint) ----------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        return {
+            "loads": ctx.refs(self.loads),
+            "stores": ctx.refs(self.stores),
+            "dep_waiters": [(seq, ctx.refs(waiters))
+                            for seq, waiters in self._dep_waiters.items()],
+            "forwards": self.forwards,
+            "violations": self.violations,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self.loads = deque(ctx.uops(state["loads"]))
+        self.stores = deque(ctx.uops(state["stores"]))
+        self._dep_waiters = {seq: ctx.uops(refs)
+                             for seq, refs in state["dep_waiters"]}
+        self.forwards = state["forwards"]
+        self.violations = state["violations"]
+
     def detect_violation(self, store: MicroOp) -> Optional[MicroOp]:
         """Oldest younger executed load overlapping the store's quadword.
 

@@ -154,6 +154,32 @@ class Scoreboard:
                 except ValueError:
                     pass
 
+    # -- state protocol (repro.checkpoint) -------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        return {
+            "ready": list(self.ready),
+            "ready_at": list(self.ready_at),
+            "data_ready_at": list(self.data_ready_at),
+            "version": list(self.version),
+            "waiters": [(preg, ctx.refs(waiters))
+                        for preg, waiters in self._waiters.items()],
+            "events": [(cycle, [tuple(e) for e in events])
+                       for cycle, events in self._events.items()],
+            "wakeups_fired": self.wakeups_fired,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self.ready[:] = state["ready"]
+        self.ready_at[:] = state["ready_at"]
+        self.data_ready_at[:] = state["data_ready_at"]
+        self.version[:] = state["version"]
+        self._waiters = {preg: ctx.uops(refs)
+                         for preg, refs in state["waiters"]}
+        self._events = {cycle: [tuple(e) for e in events]
+                        for cycle, events in state["events"]}
+        self.wakeups_fired = state["wakeups_fired"]
+
     def rewatch(self, uop: MicroOp) -> int:
         """Fused :meth:`drop_waiter` + :meth:`watch` (replay re-arm).
 

@@ -90,3 +90,20 @@ class RecoveryBuffer:
 
     def members(self) -> List[MicroOp]:
         return list(self._members)
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self, ctx) -> dict:
+        return {
+            "members": ctx.refs(
+                sorted(self._members, key=lambda u: u.seq)),
+            "ready": ctx.refs(self.ready),
+            "peak_occupancy": self.peak_occupancy,
+            "replays_issued": self.replays_issued,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self._members = set(ctx.uops(state["members"]))
+        self.ready = ctx.uops(state["ready"])
+        self.peak_occupancy = state["peak_occupancy"]
+        self.replays_issued = state["replays_issued"]

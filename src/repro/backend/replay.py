@@ -85,6 +85,28 @@ class ReplayController:
             events.sort(key=_event_seq)
         return events
 
+    # -- state protocol (repro.checkpoint) --------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        return {
+            "events": [
+                (cycle, [(ctx.ref(e.load), e.cause, e.corrected_latency)
+                         for e in events])
+                for cycle, events in self._events.items()],
+            "window": [(cycle, ctx.refs(group))
+                       for cycle, group in self._window],
+            "events_fired": self.events_fired,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self._events = {
+            cycle: [ReplayEvent(ctx.uop(ref), cause, alat)
+                    for ref, cause, alat in events]
+            for cycle, events in state["events"]}
+        self._window = deque(
+            (cycle, ctx.uops(refs)) for cycle, refs in state["window"])
+        self.events_fired = state["events_fired"]
+
     def squashable_uops(self, now: int) -> List[MicroOp]:
         """µops issued in ``[now−D, now−1]`` that have not executed.
 

@@ -72,3 +72,12 @@ class ReorderBuffer:
 
     def __iter__(self):
         return iter(self._entries)
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self, ctx) -> dict:
+        return {"entries": ctx.refs(self._entries), "retired": self.retired}
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self._entries = deque(ctx.uops(state["entries"]))
+        self.retired = state["retired"]

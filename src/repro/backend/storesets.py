@@ -63,6 +63,23 @@ class StoreSets:
         if self._lfst.get(key) is store:
             del self._lfst[key]
 
+    # -- state protocol (repro.checkpoint) ---------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        return {
+            "ssit": list(self._ssit),
+            "lfst": [(key, ctx.ref(store))
+                     for key, store in self._lfst.items()],
+            "next_ssid": self._next_ssid,
+            "violations_trained": self.violations_trained,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self._ssit = list(state["ssit"])
+        self._lfst = {key: ctx.uop(ref) for key, ref in state["lfst"]}
+        self._next_ssid = state["next_ssid"]
+        self.violations_trained = state["violations_trained"]
+
     # -- violation training -------------------------------------------------
 
     def train_violation(self, store_pc: int, load_pc: int) -> None:

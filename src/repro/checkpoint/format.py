@@ -1,0 +1,300 @@
+"""Versioned on-disk checkpoint format: warm state, captured once.
+
+A checkpoint freezes a complete mid-run :class:`~repro.pipeline.cpu.
+Simulator` — every pipeline structure, predictor table, cache directory,
+RNG and trace cursor — so later runs resume from warm state instead of
+re-simulating (or re-warming) from µop zero. Layout of a ``.ckpt``
+file, mirroring the binary trace format's header idiom::
+
+    header (64 bytes, fixed):
+        magic        4s   b"RPCK"
+        version      u16  FORMAT_VERSION
+        flags        u16  bit 0: payload is zlib-compressed
+        raw_len      u64  uncompressed payload byte length
+        digest       32s  sha256 over the *raw* (uncompressed) payload
+        meta_len     u32  length of the meta JSON that follows
+        reserved     12s
+    meta JSON (meta_len bytes):
+        {"schema": 1, "config_name": ..., "config_hash": ...,
+         "workload": <workload payload or null>, "seed": ...,
+         "uops_committed": ..., "cycles": ..., "provenance": {...}}
+    payload:
+        zlib(pickle(state))  — plain-data only (the restricted loader
+        refuses anything that would import code)
+
+The digest identifies the *state*, independent of compression or file
+location — it is what the experiment engine folds into cell cache keys
+when a cell starts from a checkpoint, so a cached result can never be
+served against a regenerated checkpoint.
+
+The payload is a pickle of builtin containers and scalars only (that is
+what the component ``state_dict()`` protocol guarantees); loading goes
+through :class:`_PlainUnpickler`, which rejects any global reference, so
+a tampered file cannot execute code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import pickle
+import platform
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.common.config import SimConfig
+from repro.common.serialize import stable_hash
+
+MAGIC = b"RPCK"
+FORMAT_VERSION = 1
+FLAG_ZLIB = 0x1
+
+#: Bumped when the meta layout (not the simulator state) changes.
+CHECKPOINT_SCHEMA = 1
+
+#: Canonical file suffix for checkpoints.
+CHECKPOINT_SUFFIX = ".ckpt"
+
+#: Pinned so identical state always produces identical payload bytes
+#: (the digest doubles as a cache-key ingredient).
+PICKLE_PROTOCOL = 4
+
+HEADER = struct.Struct("<4sHHQ32sI12s")
+
+
+class CheckpointError(ValueError):
+    """Malformed, truncated, tampered or incompatible checkpoint file."""
+
+
+class _PlainUnpickler(pickle.Unpickler):
+    """Unpickler that refuses global lookups: checkpoint payloads are
+    plain data, so any class/function reference means tampering."""
+
+    def find_class(self, module: str, name: str):
+        raise CheckpointError(
+            f"checkpoint payload references {module}.{name}; payloads "
+            f"must be plain data")
+
+
+def _dumps(state: Any) -> bytes:
+    return pickle.dumps(state, protocol=PICKLE_PROTOCOL)
+
+
+def _loads(raw: bytes) -> Any:
+    try:
+        return _PlainUnpickler(io.BytesIO(raw)).load()
+    except CheckpointError:
+        raise
+    except Exception as exc:             # pickle's zoo of decode errors
+        raise CheckpointError(f"corrupt checkpoint payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Info
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointInfo:
+    """Everything knowable about a checkpoint without loading its state."""
+
+    path: str
+    version: int
+    compressed: bool
+    digest: str                     # hex sha256 over the raw payload
+    config_name: str
+    config_hash: str
+    workload: Optional[Dict[str, Any]]   # workload payload encoding
+    seed: Optional[int]
+    uops_committed: int
+    cycles: int
+    provenance: Dict[str, Any]
+    file_bytes: int
+    raw_bytes: int
+
+    @property
+    def workload_name(self) -> str:
+        if not self.workload:
+            return "?"
+        if self.workload.get("kind") == "trace":
+            return self.workload.get("name", "?")
+        spec = self.workload.get("spec") or {}
+        return spec.get("name", "?")
+
+
+def _read_header(handle, path: Path):
+    raw = handle.read(HEADER.size)
+    if len(raw) != HEADER.size:
+        raise CheckpointError(
+            f"{path.name}: not a checkpoint file (too short)")
+    magic, version, flags, raw_len, digest, meta_len, _ = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise CheckpointError(f"{path.name}: bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path.name}: checkpoint format version {version} (this "
+            f"build reads {FORMAT_VERSION})")
+    meta_raw = handle.read(meta_len)
+    if len(meta_raw) != meta_len:
+        raise CheckpointError(f"{path.name}: truncated meta JSON")
+    try:
+        meta = json.loads(meta_raw)
+    except ValueError as exc:
+        raise CheckpointError(f"{path.name}: corrupt meta JSON") from exc
+    if meta.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"{path.name}: checkpoint schema {meta.get('schema')} (this "
+            f"build reads {CHECKPOINT_SCHEMA})")
+    return flags, raw_len, digest, meta
+
+
+def read_info(path) -> CheckpointInfo:
+    """Parse header + meta of a checkpoint (no payload decode)."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        flags, raw_len, digest, meta = _read_header(handle, path)
+    return CheckpointInfo(
+        path=str(path),
+        version=FORMAT_VERSION,
+        compressed=bool(flags & FLAG_ZLIB),
+        digest=digest.hex(),
+        config_name=meta.get("config_name", "?"),
+        config_hash=meta.get("config_hash", ""),
+        workload=meta.get("workload"),
+        seed=meta.get("seed"),
+        uops_committed=int(meta.get("uops_committed", 0)),
+        cycles=int(meta.get("cycles", 0)),
+        provenance=dict(meta.get("provenance") or {}),
+        file_bytes=path.stat().st_size,
+        raw_bytes=raw_len,
+    )
+
+
+def checkpoint_digest(path) -> str:
+    """The state digest alone — the engine's cache-key ingredient."""
+    return read_info(path).digest
+
+
+# ---------------------------------------------------------------------------
+# Save
+
+
+def save_checkpoint(sim, path, *, workload=None, seed: Optional[int] = None,
+                    compress: bool = True,
+                    provenance: Optional[Dict[str, Any]] = None
+                    ) -> CheckpointInfo:
+    """Freeze ``sim`` to ``path``.
+
+    ``workload`` (anything the workload registry hands out) and ``seed``
+    are recorded so :func:`restore_simulator` can rebuild the trace
+    source without the caller re-supplying them; pass ``workload=None``
+    for hand-built traces and supply the trace at restore time.
+    """
+    from repro.traces.registry import workload_payload
+
+    path = Path(path)
+    payload = {
+        "schema": CHECKPOINT_SCHEMA,
+        "config": sim.config.to_dict(),
+        "workload": (workload_payload(workload)
+                     if workload is not None else None),
+        "seed": seed,
+        "sim": sim.state_dict(),
+    }
+    raw = _dumps(payload)
+    digest = hashlib.sha256(raw).digest()
+    stored = zlib.compress(raw, 6) if compress else raw
+    meta = {
+        "schema": CHECKPOINT_SCHEMA,
+        "config_name": sim.config.name,
+        "config_hash": stable_hash(sim.config.to_dict()),
+        "workload": payload["workload"],
+        "seed": seed,
+        "uops_committed": sim.stats.committed_uops,
+        "cycles": sim.stats.cycles,
+        "provenance": {
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            **(provenance or {}),
+        },
+    }
+    meta_raw = json.dumps(meta, sort_keys=True).encode("utf-8")
+    flags = FLAG_ZLIB if compress else 0
+    with path.open("wb") as handle:
+        handle.write(HEADER.pack(MAGIC, FORMAT_VERSION, flags, len(raw),
+                                 digest, len(meta_raw), b"\0" * 12))
+        handle.write(meta_raw)
+        handle.write(stored)
+    return read_info(path)
+
+
+# ---------------------------------------------------------------------------
+# Load / restore
+
+
+class Checkpoint:
+    """A loaded checkpoint: info + the decoded state payload."""
+
+    def __init__(self, info: CheckpointInfo, payload: Dict[str, Any]) -> None:
+        self.info = info
+        self.payload = payload
+
+    @property
+    def config(self) -> SimConfig:
+        return SimConfig.from_dict(self.payload["config"]).validate()
+
+    def restore(self, trace=None, phase_profile=None):
+        """Build a fresh :class:`~repro.pipeline.cpu.Simulator` and load
+        this checkpoint's state into it.
+
+        ``trace`` overrides the recorded workload (required when the
+        checkpoint was saved without one); it must be an equivalent
+        source — same workload, same seed — since its cursor state is
+        overwritten from the checkpoint.
+        """
+        from repro.pipeline.cpu import Simulator
+        from repro.traces.registry import workload_from_payload
+
+        if trace is None:
+            workload_data = self.payload.get("workload")
+            if workload_data is None:
+                raise CheckpointError(
+                    f"{self.info.path}: checkpoint records no workload; "
+                    f"pass an explicit trace to restore()")
+            workload = workload_from_payload(workload_data)
+            trace = workload.build_trace(self.payload.get("seed"))
+        sim = Simulator(self.config, trace, phase_profile=phase_profile)
+        sim.load_state_dict(self.payload["sim"])
+        return sim
+
+
+def load_checkpoint(path) -> Checkpoint:
+    """Read, digest-verify and decode a checkpoint file."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        flags, raw_len, digest, _meta = _read_header(handle, path)
+        stored = handle.read()
+    if flags & FLAG_ZLIB:
+        try:
+            raw = zlib.decompress(stored)
+        except zlib.error as exc:
+            raise CheckpointError(f"{path.name}: corrupt payload") from exc
+    else:
+        raw = stored
+    if len(raw) != raw_len:
+        raise CheckpointError(f"{path.name}: payload length mismatch")
+    if hashlib.sha256(raw).digest() != digest:
+        raise CheckpointError(
+            f"{path.name}: payload digest mismatch (file corrupted or "
+            f"tampered)")
+    return Checkpoint(read_info(path), _loads(raw))
+
+
+def restore_simulator(path, trace=None, phase_profile=None):
+    """One-call restore: load ``path`` and rebuild its simulator."""
+    return load_checkpoint(path).restore(trace=trace,
+                                         phase_profile=phase_profile)

@@ -1,0 +1,294 @@
+"""SMARTS-style interval sampling over the experiment engine.
+
+Detailed simulation scales linearly with trace length; statistical
+sampling with functional warming (Wunderlich et al., SMARTS) breaks that
+wall: the stream is mostly consumed by the functional fast-forward mode
+(caches + branch predictors warmed, OoO backend bypassed —
+:meth:`repro.pipeline.cpu.Simulator.fast_forward`), and only short,
+systematically spaced *measurement intervals* run detailed. Interval
+means aggregate to an IPC estimate with a confidence interval.
+
+A :class:`SamplingSpec` pins the geometry::
+
+    offset_uops     functional warming before the first interval
+    period_uops     interval-start-to-interval-start distance (µops)
+    warmup_uops     detailed pipeline warmup preceding each measurement
+    interval_uops   measured µops per interval
+    intervals       number of intervals
+
+Two execution shapes:
+
+* **cells** (:func:`sample_payloads` / :func:`run_sampled`): each
+  interval compiles to one self-contained engine cell, dispatched across
+  the process pool and persistently cached like any other cell. A cell
+  fast-forwards from µop zero (or from a checkpoint — whose content
+  digest then keys the cache entry) to its interval start, so its result
+  is a pure function of its payload.
+* **chained** (:func:`run_sampled_chained`): one simulator walks the
+  stream once, alternating fast-forward and detailed intervals — the
+  fastest single-process shape (no per-interval re-warming), used by
+  ``repro run --sample`` and the sampling benchmark.
+
+The two shapes are both unbiased estimators but are not bit-identical
+to each other: chained intervals inherit detailed-mode cache/predictor
+perturbations from earlier intervals; cells warm purely functionally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.common.config import SimConfig
+from repro.common.mathutil import ci95_half_width, mean
+from repro.common.serialize import stable_hash
+from repro.common.stats import SimStats
+
+
+class SamplingError(ValueError):
+    """Invalid sampling geometry or an unusable sampled workload."""
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """Geometry of a sampled run (all volumes in µops)."""
+
+    intervals: int = 8
+    interval_uops: int = 2_000
+    warmup_uops: int = 500
+    period_uops: int = 12_000
+    offset_uops: int = 20_000
+
+    def validate(self) -> "SamplingSpec":
+        if self.intervals < 1:
+            raise SamplingError("sampling.intervals must be >= 1")
+        if self.interval_uops < 1:
+            raise SamplingError("sampling.interval_uops must be >= 1")
+        if self.warmup_uops < 0 or self.offset_uops < 0:
+            raise SamplingError(
+                "sampling.warmup_uops and sampling.offset_uops must be "
+                ">= 0")
+        if self.period_uops < self.warmup_uops + self.interval_uops:
+            raise SamplingError(
+                f"sampling.period_uops ({self.period_uops}) must cover "
+                f"warmup + interval "
+                f"({self.warmup_uops + self.interval_uops}): intervals "
+                f"would overlap")
+        return self
+
+    # -- geometry --------------------------------------------------------
+
+    def interval_offset(self, index: int) -> int:
+        """Stream position where interval ``index``'s detailed warmup
+        starts."""
+        if not 0 <= index < self.intervals:
+            raise SamplingError(
+                f"interval index {index} outside 0..{self.intervals - 1}")
+        return self.offset_uops + index * self.period_uops
+
+    @property
+    def detailed_uops(self) -> int:
+        """Detailed-mode µops across the whole sampled run."""
+        return self.intervals * (self.warmup_uops + self.interval_uops)
+
+    @property
+    def span_uops(self) -> int:
+        """Stream µops from zero through the last measured µop — the
+        region a full detailed run would have to simulate to produce the
+        same estimate."""
+        return (self.interval_offset(self.intervals - 1)
+                + self.warmup_uops + self.interval_uops)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SamplingSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SamplingError(
+                f"unknown sampling fields: {sorted(unknown)} "
+                f"(expected among {sorted(known)})")
+        return cls(**{k: int(v) for k, v in data.items()}).validate()
+
+    def content_hash(self) -> str:
+        return stable_hash(self.to_dict())
+
+
+# ---------------------------------------------------------------------------
+# Cell compilation
+
+
+def sample_payloads(base_payload: Dict[str, Any],
+                    spec: SamplingSpec) -> List[Dict[str, Any]]:
+    """Compile one engine cell payload into per-interval payloads.
+
+    Each interval cell carries the spec and its index; the base
+    payload's ``functional_warmup_uops`` is zeroed (the spec's
+    ``offset_uops`` takes over that role) and ``warmup_uops`` /
+    ``measure_uops`` are overridden by the spec's per-interval volumes,
+    so the cache key depends only on what the cell actually runs.
+    """
+    spec.validate()
+    return [
+        {**base_payload,
+         "functional_warmup_uops": 0,
+         "warmup_uops": spec.warmup_uops,
+         "measure_uops": spec.interval_uops,
+         "sampling": {"spec": spec.to_dict(), "index": index}}
+        for index in range(spec.intervals)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+
+
+@dataclass
+class SampledResult:
+    """Per-interval stats + the aggregate estimates the figures report."""
+
+    workload: str
+    config_name: str
+    spec: SamplingSpec
+    interval_stats: List[SimStats]
+
+    @property
+    def ipc_values(self) -> List[float]:
+        return [stats.ipc for stats in self.interval_stats]
+
+    @property
+    def mean_ipc(self) -> float:
+        return mean(self.ipc_values)
+
+    @property
+    def ipc_ci95(self) -> float:
+        """Half-width of the 95% CI on the interval-mean IPC."""
+        return ci95_half_width(self.ipc_values)
+
+    @property
+    def total(self) -> SimStats:
+        """Counter-wise sum over intervals (the replay-breakdown view:
+        summed counters aggregate exactly; ratios recompute from them)."""
+        out = SimStats()
+        for stats in self.interval_stats:
+            for name, value in stats.__dict__.items():
+                if name == "extra":
+                    continue
+                setattr(out, name, getattr(out, name) + value)
+            for key, value in stats.extra.items():
+                out.extra[key] = out.extra.get(key, 0) + value
+        return out
+
+    def breakdown(self) -> Dict[str, float]:
+        """Unique / RpldMiss / RpldBank fractions of issued µops."""
+        total = self.total
+        denom = total.issued_total or 1
+        return {
+            "unique": total.unique_issued / denom,
+            "rpld_miss": total.replayed_miss / denom,
+            "rpld_bank": total.replayed_bank / denom,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+
+
+def _resolve(workload, config: Union[str, SimConfig], banked: bool):
+    from repro.core.presets import make_config
+    from repro.traces.registry import resolve_workload
+
+    spec = resolve_workload(workload)
+    if isinstance(config, str):
+        config = make_config(config, banked=banked)
+    return spec, config
+
+
+def _cell_seed(workload, seed: Optional[int]) -> int:
+    if seed is not None:
+        return seed
+    return int(getattr(workload, "seed", 0) or 0)
+
+
+def run_sampled(workload, config: Union[str, SimConfig],
+                spec: SamplingSpec, *, seed: Optional[int] = None,
+                banked: bool = True, options=None, cache=None,
+                checkpoint=None) -> SampledResult:
+    """Sampled run through the engine: per-interval cells, pooled and
+    persistently cached.
+
+    ``checkpoint`` (a path) bases every cell on a saved warm state
+    instead of fast-forwarding from µop zero; the checkpoint's content
+    digest becomes part of each cell's cache key.
+    """
+    from repro.experiments.engine import (
+        EngineOptions,
+        base_cell_payload,
+        run_cells,
+    )
+
+    spec.validate()
+    resolved, config = _resolve(workload, config, banked)
+    base = base_cell_payload(
+        config, resolved, warmup_uops=spec.warmup_uops,
+        measure_uops=spec.interval_uops, functional_warmup_uops=0,
+        seed=_cell_seed(resolved, seed))
+    if checkpoint is not None:
+        base["checkpoint"] = checkpoint_reference(checkpoint)
+    payloads = sample_payloads(base, spec)
+    stats = run_cells(payloads, options=options or EngineOptions.from_env(),
+                      cache=cache)
+    return SampledResult(workload=resolved.name, config_name=config.name,
+                         spec=spec, interval_stats=list(stats))
+
+
+def run_sampled_chained(workload, config: Union[str, SimConfig],
+                        spec: SamplingSpec, *, seed: Optional[int] = None,
+                        banked: bool = True) -> SampledResult:
+    """Sampled run in one pass: a single simulator alternates functional
+    fast-forward and detailed measurement intervals.
+
+    Stream positions after a detailed interval are tracked by committed
+    µops (in-flight fetch-ahead makes the next fast-forward start a few
+    µops late) — immaterial for the statistics, and what keeps this the
+    fastest shape: the stream is consumed exactly once.
+    """
+    from repro.pipeline.cpu import Simulator
+
+    spec.validate()
+    resolved, config = _resolve(workload, config, banked)
+    trace = resolved.build_trace(seed)
+    sim = Simulator(config, trace)
+    interval_stats: List[SimStats] = []
+    position = 0
+    for index in range(spec.intervals):
+        gap = spec.interval_offset(index) - position
+        if gap > 0:
+            position += sim.fast_forward(gap)
+        base = sim.stats.committed_uops
+        sim.run(max_uops=base + spec.warmup_uops)
+        baseline = sim.stats.copy()
+        sim.run(max_uops=base + spec.warmup_uops + spec.interval_uops)
+        interval_stats.append(sim.stats.delta_since(baseline))
+        position += sim.stats.committed_uops - base
+        if sim.done:
+            break                    # stream exhausted: report what ran
+    return SampledResult(workload=resolved.name, config_name=config.name,
+                         spec=spec, interval_stats=interval_stats)
+
+
+def checkpoint_reference(path) -> Dict[str, Any]:
+    """The payload encoding of a checkpoint base: path for the worker,
+    digest and stream position for the cache key and the fast-forward
+    arithmetic."""
+    from repro.checkpoint.format import read_info
+
+    info = read_info(path)
+    position = int(info.provenance.get("stream_uops",
+                                       info.uops_committed))
+    return {"path": str(path), "digest": info.digest, "position": position}

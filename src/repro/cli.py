@@ -3,18 +3,24 @@
 Commands:
 
 * ``run WORKLOAD CONFIG`` — simulate one (workload, configuration) pair
-  and print the statistics;
+  and print the statistics; ``--sample`` switches to SMARTS-style
+  interval sampling (mean IPC ± 95% CI), ``--from-checkpoint`` resumes
+  from saved warm state;
 * ``table1`` — render the machine configuration (paper Table 1);
 * ``table2`` — run Baseline_0 over the selected workloads (paper Table 2);
 * ``figure {3,4,5,7,8}`` — regenerate one evaluation figure;
 * ``sweep FILE`` — execute a declarative sweep file (TOML/JSON, see
-  ``examples/sweeps/``) through the parallel experiment engine;
+  ``examples/sweeps/``) through the parallel experiment engine; a
+  ``[sampling]`` table in the file runs every cell sampled;
 * ``trace record WORKLOAD`` / ``trace info FILE`` / ``trace replay FILE
   CONFIG`` — capture a µop stream to the binary trace format, inspect a
   recording, replay one through the simulator;
+* ``checkpoint create WORKLOAD CONFIG`` / ``checkpoint info FILE`` —
+  freeze a mid-run simulator's complete state to a versioned ``.ckpt``
+  file, inspect one (``--verify`` re-checks the content digest);
 * ``bench [NAME ...]`` — measure simulator throughput (headline /
-  table2 / trace), write ``BENCH_<name>.json`` trajectory files and,
-  with ``--baseline``, enforce the perf regression gate;
+  table2 / trace / sampling), write ``BENCH_<name>.json`` trajectory
+  files and, with ``--baseline``, enforce the perf regression gate;
 * ``list`` — available workloads (suite, scenarios, traces) and presets.
 
 Workload arguments resolve through the workload registry
@@ -39,6 +45,7 @@ from repro.experiments.engine import EngineOptions, Sweep
 from repro.experiments.report import (
     breakdown_table,
     performance_table,
+    sampling_table,
     summary_line,
 )
 from repro.experiments.runner import Settings, run_sweep
@@ -74,6 +81,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ideal dual-ported L1D instead of banked")
     run_p.add_argument("--measure", type=int, default=20_000,
                        help="measured µops (default 20000)")
+    run_p.add_argument("--from-checkpoint", default=None, metavar="FILE",
+                       help="resume from a saved .ckpt instead of "
+                            "starting cold (see 'repro checkpoint')")
+    run_p.add_argument("--sample", action="store_true",
+                       help="SMARTS-style interval sampling instead of "
+                            "one contiguous measured region")
+    run_p.add_argument("--intervals", type=int, default=None, metavar="K",
+                       help="sampling: number of measurement intervals")
+    run_p.add_argument("--interval-uops", type=int, default=None,
+                       metavar="N", help="sampling: measured µops per "
+                                         "interval")
+    run_p.add_argument("--sample-warmup", type=int, default=None,
+                       metavar="N", help="sampling: detailed warmup µops "
+                                         "before each interval")
+    run_p.add_argument("--period", type=int, default=None, metavar="N",
+                       help="sampling: interval-start-to-start distance "
+                            "in µops")
+    run_p.add_argument("--offset", type=int, default=None, metavar="N",
+                       help="sampling: functional warming µops before "
+                            "the first interval")
+    run_p.add_argument("--sample-mode", choices=("chained", "cells"),
+                       default="chained",
+                       help="chained: one pass, fastest (default); "
+                            "cells: per-interval engine cells, pooled "
+                            "(--jobs) and persistently cached")
+    _add_engine_flags(run_p)
 
     sub.add_parser("table1", help="render the machine configuration")
     table2_p = sub.add_parser("table2", help="Baseline_0 IPC per workload")
@@ -119,6 +152,42 @@ def build_parser() -> argparse.ArgumentParser:
     replay_p.add_argument("--dual-ported", action="store_true")
     replay_p.add_argument("--measure", type=int, default=None,
                           help="measured µops (default: REPRO_MEASURE)")
+
+    ckpt_p = sub.add_parser(
+        "checkpoint", help="create and inspect simulator checkpoints")
+    ckpt_sub = ckpt_p.add_subparsers(dest="checkpoint_command",
+                                     required=True)
+
+    ckpt_create = ckpt_sub.add_parser(
+        "create", help="run a workload to a point and freeze the "
+                       "complete machine state to a .ckpt file")
+    ckpt_create.add_argument("workload", help="registry name or file")
+    ckpt_create.add_argument("config", help="e.g. SpecSched_4_Crit")
+    ckpt_create.add_argument("-o", "--output", default=None, metavar="FILE",
+                             help="output path (default "
+                                  "<workload>-<config>.ckpt)")
+    ckpt_create.add_argument("--uops", type=int, default=60_000, metavar="N",
+                             help="µops to advance before saving "
+                                  "(default 60000)")
+    ckpt_create.add_argument("--mode", choices=("functional", "detailed"),
+                             default="functional",
+                             help="functional: fast-forward (caches + "
+                                  "branch predictors warmed, default); "
+                                  "detailed: full pipeline simulation")
+    ckpt_create.add_argument("--functional-warmup", type=int, default=None,
+                             metavar="N",
+                             help="functional warmup before a detailed-"
+                                  "mode run (default: REPRO_FUNC_WARMUP)")
+    ckpt_create.add_argument("--seed", type=int, default=None,
+                             help="trace seed (default: the workload's)")
+    ckpt_create.add_argument("--dual-ported", action="store_true")
+    ckpt_create.add_argument("--no-compress", action="store_true",
+                             help="store the payload raw instead of zlib")
+
+    ckpt_info = ckpt_sub.add_parser("info", help="describe a checkpoint")
+    ckpt_info.add_argument("file")
+    ckpt_info.add_argument("--verify", action="store_true",
+                           help="decode the payload against the digest")
 
     bench_p = sub.add_parser(
         "bench", help="measure simulator throughput and write "
@@ -196,14 +265,156 @@ def _fail(exc: BaseException) -> int:
     return 2
 
 
+def _sampling_spec(args: argparse.Namespace):
+    """Spec from the ``run --sample`` flags (defaults from the spec)."""
+    from repro.checkpoint.sampling import SamplingSpec
+
+    overrides = {}
+    for field_name, arg_name in (("intervals", "intervals"),
+                                 ("interval_uops", "interval_uops"),
+                                 ("warmup_uops", "sample_warmup"),
+                                 ("period_uops", "period"),
+                                 ("offset_uops", "offset")):
+        value = getattr(args, arg_name, None)
+        if value is not None:
+            overrides[field_name] = value
+    return SamplingSpec(**overrides).validate()
+
+
+def _print_sampled(result) -> None:
+    spec = result.spec
+    print(f"{result.workload} under {result.config_name} (sampled: "
+          f"{len(result.interval_stats)} x {spec.interval_uops} µops, "
+          f"period {spec.period_uops}, offset {spec.offset_uops}):")
+    ipcs = " ".join(f"{ipc:.3f}" for ipc in result.ipc_values)
+    print(f"  interval IPCs          {ipcs}")
+    print(f"  {'IPC':22s} {result.mean_ipc:.3f} ±{result.ipc_ci95:.3f} "
+          f"(95% CI)")
+    breakdown = result.breakdown()
+    print(f"  {'issued breakdown':22s} unique {breakdown['unique']:.3f}, "
+          f"rpld_miss {breakdown['rpld_miss']:.3f}, "
+          f"rpld_bank {breakdown['rpld_bank']:.3f}")
+    total = result.total
+    print(f"  {'detailed µops':22s} {total.committed_uops} "
+          f"(of a {spec.span_uops}-µop span)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if not args.sample:
+        given = [flag for flag, arg_name in
+                 (("--intervals", "intervals"),
+                  ("--interval-uops", "interval_uops"),
+                  ("--sample-warmup", "sample_warmup"),
+                  ("--period", "period"),
+                  ("--offset", "offset"))
+                 if getattr(args, arg_name, None) is not None]
+        if given:
+            return _fail(ValueError(
+                f"{', '.join(given)} only take effect with --sample"))
+    if args.sample:
+        from repro.checkpoint.sampling import (
+            run_sampled,
+            run_sampled_chained,
+        )
+
+        try:
+            spec = _sampling_spec(args)
+            if args.sample_mode == "cells":
+                result = run_sampled(
+                    args.workload, args.config, spec,
+                    banked=not args.dual_ported,
+                    options=_engine_options(args),
+                    checkpoint=args.from_checkpoint)
+            else:
+                if args.from_checkpoint is not None:
+                    raise ValueError(
+                        "--from-checkpoint requires --sample-mode cells "
+                        "(the chained pass owns its own warming)")
+                result = run_sampled_chained(args.workload, args.config,
+                                             spec,
+                                             banked=not args.dual_ported)
+        except (KeyError, OSError, ValueError) as exc:
+            return _fail(exc)
+        _print_sampled(result)
+        return 0
     try:
         result = run_workload(args.workload, args.config,
                               banked=not args.dual_ported,
-                              measure_uops=args.measure)
+                              measure_uops=args.measure,
+                              checkpoint=args.from_checkpoint)
     except (KeyError, OSError, ValueError) as exc:
         return _fail(exc)
     _print_run(result)
+    return 0
+
+
+def _cmd_checkpoint_create(args: argparse.Namespace) -> int:
+    from repro.checkpoint.format import save_checkpoint
+    from repro.pipeline.cpu import Simulator
+
+    try:
+        workload = default_registry().resolve(args.workload)
+        from repro.core.presets import make_config
+
+        config = make_config(args.config, banked=not args.dual_ported)
+        seed = args.seed
+        if seed is None:
+            seed = int(getattr(workload, "seed", 0) or 0)
+        sim = Simulator(config, workload.build_trace(seed))
+        if args.mode == "functional":
+            consumed = sim.fast_forward(args.uops)
+            provenance = {"mode": "functional", "stream_uops": consumed}
+        else:
+            functional = (args.functional_warmup
+                          if args.functional_warmup is not None
+                          else Settings.from_env().functional_warmup_uops)
+            if functional:
+                sim.functional_warmup(workload.build_trace(seed), functional)
+            sim.run(max_uops=args.uops)
+            provenance = {"mode": "detailed",
+                          "functional_warmup_uops": functional,
+                          "stream_uops": sim.stats.committed_uops}
+        output = args.output or f"{workload.name}-{args.config}.ckpt"
+        info = save_checkpoint(sim, output, workload=workload, seed=seed,
+                               compress=not args.no_compress,
+                               provenance=provenance)
+    except (KeyError, OSError, ValueError) as exc:
+        return _fail(exc)
+    print(f"checkpointed {workload.name!r} under {args.config} at "
+          f"{provenance['stream_uops']} stream µops -> {output}")
+    print(f"  digest     {info.digest}")
+    print(f"  size       {info.file_bytes} bytes "
+          f"(raw state {info.raw_bytes})")
+    print(f"  committed  {info.uops_committed} µops, {info.cycles} cycles")
+    return 0
+
+
+def _cmd_checkpoint_info(args: argparse.Namespace) -> int:
+    from repro.checkpoint.format import load_checkpoint, read_info
+
+    try:
+        info = read_info(args.file)
+    except (OSError, ValueError) as exc:
+        return _fail(exc)
+    print(f"{args.file}:")
+    print(f"  format     v{info.version} "
+          f"({'zlib payload' if info.compressed else 'raw payload'})")
+    print(f"  workload   {info.workload_name}")
+    print(f"  config     {info.config_name}")
+    print(f"  seed       {info.seed}")
+    print(f"  committed  {info.uops_committed} µops, {info.cycles} cycles")
+    print(f"  digest     {info.digest}")
+    print(f"  size       {info.file_bytes} bytes "
+          f"(raw state {info.raw_bytes})")
+    for key in sorted(info.provenance):
+        print(f"  {key:10s} {info.provenance[key]}")
+    if args.verify:
+        try:
+            load_checkpoint(args.file)
+        except (OSError, ValueError) as exc:
+            print(f"  payload    DIGEST MISMATCH ({exc})")
+            return 1
+        print("  payload    digest OK")
     return 0
 
 
@@ -308,6 +519,9 @@ def _cmd_sweep(path: str, options: EngineOptions) -> int:
     sweep = Sweep.from_file(path)
     result = run_sweep(sweep, options=options)
     print(performance_table(result))
+    if result.ipc_ci:
+        print()
+        print(sampling_table(result))
     for series in sweep.series:
         if series.label == sweep.baseline:
             continue
@@ -356,7 +570,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         path = write_result(result, out_dir)
         metric = GATED_METRICS.get(name, "uops_per_sec")
         rate = result.metrics.get(metric, 0.0)
-        print(f"{name:10s} {rate:12,.0f} {metric}   "
+        rate_text = f"{rate:12,.2f}" if rate < 1000 else f"{rate:12,.0f}"
+        print(f"{name:10s} {rate_text} {metric}   "
               f"(wall {result.metrics.get('wall_seconds', 0.0):.2f}s, "
               f"calibration {result.calibration_ops_per_sec:,.0f} ops/s) "
               f"-> {path}")
@@ -433,6 +648,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace_info(args)
         if args.trace_command == "replay":
             return _cmd_trace_replay(args)
+    if args.command == "checkpoint":
+        if args.checkpoint_command == "create":
+            return _cmd_checkpoint_create(args)
+        if args.checkpoint_command == "info":
+            return _cmd_checkpoint_info(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "list":

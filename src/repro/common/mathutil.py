@@ -25,6 +25,40 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(acc / len(vals))
 
 
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ValueError on an empty sequence."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def sample_stdev(values: Iterable[float]) -> float:
+    """Bessel-corrected sample standard deviation (0.0 below 2 samples)."""
+    vals = list(values)
+    n = len(vals)
+    if n < 2:
+        return 0.0
+    mu = sum(vals) / n
+    return math.sqrt(sum((v - mu) ** 2 for v in vals) / (n - 1))
+
+
+def ci95_half_width(values: Iterable[float]) -> float:
+    """Half-width of the normal-approximation 95% confidence interval on
+    the mean: ``1.96 * s / sqrt(n)``.
+
+    The sampling layer reports interval-mean IPC this way (SMARTS
+    Section 3 does the same); with the small interval counts used in CI
+    runs the normal z is a mild underestimate of the t quantile — treat
+    tight margins accordingly.
+    """
+    vals = list(values)
+    n = len(vals)
+    if n < 2:
+        return 0.0
+    return 1.96 * sample_stdev(vals) / math.sqrt(n)
+
+
 def clamp(value: int, lo: int, hi: int) -> int:
     """Clamp ``value`` into the inclusive range [lo, hi]."""
     if lo > hi:

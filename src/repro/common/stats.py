@@ -154,6 +154,17 @@ class SimStats:
         out["extra"] = dict(self.extra)
         return out
 
+    def state_dict(self) -> Dict[str, int]:
+        """Checkpoint-protocol alias of :meth:`to_dict`."""
+        return self.to_dict()
+
+    def load_state_dict(self, data: Dict) -> None:
+        """In-place restore: the hierarchy and the policy hold references
+        to this object, so load must not replace it."""
+        fresh = SimStats.from_dict(data)
+        for name, value in fresh.__dict__.items():
+            setattr(self, name, dict(value) if name == "extra" else value)
+
     @classmethod
     def from_dict(cls, data: Dict) -> "SimStats":
         counters = {f.name for f in fields(cls)}

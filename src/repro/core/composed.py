@@ -110,6 +110,27 @@ class ComposedPolicy(SchedulingPolicy):
         if self.crit is not None:
             self.crit.train(uop.pc, uop.was_critical)
 
+    # -- state protocol (repro.checkpoint) --------------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["shifter"] = self.shifter.state_dict()
+        state["global_ctr"] = self.global_ctr.state_dict()
+        state["hm_filter"] = (self.hm_filter.state_dict()
+                              if self.hm_filter is not None else None)
+        state["crit"] = (self.crit.state_dict()
+                         if self.crit is not None else None)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.shifter.load_state_dict(state["shifter"])
+        self.global_ctr.load_state_dict(state["global_ctr"])
+        if self.hm_filter is not None:
+            self.hm_filter.load_state_dict(state["hm_filter"])
+        if self.crit is not None:
+            self.crit.load_state_dict(state["crit"])
+
 
 def build_policy(sched: SchedPolicyConfig, load_to_use: int,
                  stats: Optional[SimStats] = None) -> SchedulingPolicy:

@@ -43,3 +43,12 @@ class CriticalityPredictor:
             self._counters[idx] = min(ctr + 1, self.ctr_max)
         else:
             self._counters[idx] = max(ctr - 1, self.ctr_min)
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {"counters": list(self._counters), "updates": self.updates}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._counters[:] = state["counters"]
+        self.updates = state["updates"]

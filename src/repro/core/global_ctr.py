@@ -39,3 +39,14 @@ class GlobalHitMissCounter:
         else:
             self.hit_cycles += 1
             self.value = min(self.max_value, self.value + self.inc_on_hit)
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {"value": self.value, "miss_cycles": self.miss_cycles,
+                "hit_cycles": self.hit_cycles}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.value = state["value"]
+        self.miss_cycles = state["miss_cycles"]
+        self.hit_cycles = state["hit_cycles"]

@@ -96,6 +96,22 @@ class HitMissFilter:
         self.silence_resets += 1
         self._silenced = [False] * self.entries
 
+    # -- state protocol (repro.checkpoint) ----------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "counters": list(self._counters),
+            "silenced": list(self._silenced),
+            "committed_loads": self._committed_loads,
+            "silence_resets": self.silence_resets,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._counters[:] = state["counters"]
+        self._silenced[:] = state["silenced"]
+        self._committed_loads = state["committed_loads"]
+        self.silence_resets = state["silence_resets"]
+
     # -- introspection ------------------------------------------------------
 
     def silenced_fraction(self) -> float:

@@ -68,6 +68,20 @@ class SchedulingPolicy:
     def on_uop_commit(self, uop: MicroOp) -> None:
         """Any µop retired; ``uop.was_critical`` holds the ROB-head tag."""
 
+    # -- state protocol (repro.checkpoint) -------------------------------
+
+    def state_dict(self) -> dict:
+        """Stateless by default; stateful policies (the composed
+        mechanism stack) extend this with their predictor tables. The
+        kind tag guards against restoring across configurations."""
+        return {"kind": type(self).__name__}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != type(self).__name__:
+            raise ValueError(
+                f"checkpoint policy kind {state.get('kind')!r} does not "
+                f"match this configuration's {type(self).__name__!r}")
+
 
 class AlwaysHitPolicy(SchedulingPolicy):
     """SpecSched_* default: dependents always woken assuming an L1 hit."""

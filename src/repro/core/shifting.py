@@ -33,3 +33,11 @@ class ScheduleShifter:
             self.shifted += 1
             return base_latency + self.slack
         return base_latency
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {"shifted": self.shifted}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.shifted = state["shifted"]

@@ -66,7 +66,9 @@ from repro.traces.registry import (
 #: Bumped when the cache entry format (not the simulator) changes.
 #: 2: cell payloads carry a typed workload encoding ({kind, ...}) and
 #: trace cells key on the recording's content digest.
-CACHE_SCHEMA = 2
+#: 3: payloads may carry sampling ({spec, index}), checkpoint
+#: ({path, digest, position} — keyed by digest only) and max_cycles.
+CACHE_SCHEMA = 3
 
 _DISABLE_TOKENS = frozenset({"", "off", "none", "0"})
 
@@ -239,6 +241,28 @@ class ResultCache:
 # Cells and their payloads
 
 
+def base_cell_payload(config, workload: WorkloadLike, *,
+                      warmup_uops: int, measure_uops: int,
+                      functional_warmup_uops: int, seed: int
+                      ) -> Dict[str, Any]:
+    """Cell payload from an already-resolved :class:`SimConfig`.
+
+    The entry point every payload builder funnels through —
+    :func:`cell_payload` (presets), :func:`repro.pipeline.sim.
+    run_workload` (arbitrary configs) and the sampling driver — so
+    checkpoint/sampling options cannot diverge between them.
+    """
+    return {
+        "config": config.to_dict(),
+        "workload": workload_payload(workload),
+        "warmup_uops": warmup_uops,
+        "measure_uops": measure_uops,
+        "functional_warmup_uops": functional_warmup_uops,
+        "seed": seed,
+        "code_version": code_version(),
+    }
+
+
 def cell_payload(preset: str, workload: WorkloadLike, *,
                  banked: bool = True, load_ports: int = 2,
                  warmup_uops: int, measure_uops: int,
@@ -256,15 +280,10 @@ def cell_payload(preset: str, workload: WorkloadLike, *,
     :class:`~repro.traces.registry.TraceWorkload`.
     """
     config = make_config(preset, banked=banked, load_ports=load_ports)
-    return {
-        "config": config.to_dict(),
-        "workload": workload_payload(workload),
-        "warmup_uops": warmup_uops,
-        "measure_uops": measure_uops,
-        "functional_warmup_uops": functional_warmup_uops,
-        "seed": seed,
-        "code_version": code_version(),
-    }
+    return base_cell_payload(
+        config, workload, warmup_uops=warmup_uops,
+        measure_uops=measure_uops,
+        functional_warmup_uops=functional_warmup_uops, seed=seed)
 
 
 def cell_key(payload: Dict[str, Any]) -> str:
@@ -273,9 +292,17 @@ def cell_key(payload: Dict[str, Any]) -> str:
     Trace workloads are keyed by their recorded stream's identity
     (content digest, wrong-path seed, length), not by file path, so the
     same recording hits the same entries wherever it lives on disk.
+    Checkpoint bases likewise key on the checkpoint's *content digest*
+    alone: the same warm state at two paths (or regenerated with
+    different compression) hits the same entries, and a regenerated
+    checkpoint with different state can never serve stale results.
     """
-    return stable_hash(
-        {**payload, "workload": workload_identity(payload["workload"])})
+    normalized = {**payload,
+                  "workload": workload_identity(payload["workload"])}
+    checkpoint = normalized.get("checkpoint")
+    if checkpoint is not None:
+        normalized["checkpoint"] = {"digest": checkpoint["digest"]}
+    return stable_hash(normalized)
 
 
 def cell_seed(payload: Dict[str, Any]) -> int:
@@ -298,44 +325,126 @@ def simulate_payload(payload: Dict[str, Any],
     ``phase_profile`` (a :class:`repro.perf.instrument.PhaseProfile`)
     attaches per-phase cycle-loop timers — benchmarks only; it is never
     set on the worker-pool path.
+
+    Beyond the plain (cold-start, fixed-volume) cell, two optional
+    payload fields change the shape:
+
+    * ``checkpoint`` — ``{path, digest, position}``: the simulator is
+      restored from the saved warm state (digest-verified) instead of
+      built cold;
+    * ``sampling`` — ``{spec, index}``: the cell is one measurement
+      interval of a :class:`~repro.checkpoint.sampling.SamplingSpec`:
+      functional fast-forward to the interval start, then a detailed
+      warmup + measured region at the spec's per-interval volumes.
     """
     from repro.common.config import SimConfig
 
     config = SimConfig.from_dict(payload["config"]).validate()
     workload = workload_from_payload(payload["workload"])
+    sampling = payload.get("sampling")
     required_trace_uops(payload["workload"],
                         warmup_uops=payload["warmup_uops"],
-                        measure_uops=payload["measure_uops"])
+                        measure_uops=payload["measure_uops"],
+                        sampling=sampling)
     seed = cell_seed(payload)
-    sim = Simulator(config, workload.build_trace(seed),
-                    phase_profile=phase_profile)
+    checkpoint = payload.get("checkpoint")
+    position = 0
+    if checkpoint is not None:
+        from repro.checkpoint.format import CheckpointError, load_checkpoint
+
+        loaded = load_checkpoint(checkpoint["path"])
+        if loaded.info.digest != checkpoint["digest"]:
+            raise CheckpointError(
+                f"checkpoint {checkpoint['path']} changed since the cell "
+                f"was built (digest mismatch)")
+        if loaded.payload["config"] != payload["config"]:
+            raise CheckpointError(
+                f"checkpoint {checkpoint['path']} was saved under "
+                f"configuration {loaded.info.config_name!r}, but this "
+                f"cell runs {config.name!r}; checkpoints resume their "
+                f"own configuration")
+        saved_workload = loaded.payload.get("workload")
+        if saved_workload is not None and (
+                workload_identity(saved_workload)
+                != workload_identity(payload["workload"])):
+            raise CheckpointError(
+                f"checkpoint {checkpoint['path']} was saved for a "
+                f"different workload; restoring its trace cursor into "
+                f"this cell's stream would silently corrupt the run")
+        sim = loaded.restore(trace=workload.build_trace(seed),
+                             phase_profile=phase_profile)
+        position = int(checkpoint.get("position", 0))
+    else:
+        sim = Simulator(config, workload.build_trace(seed),
+                        phase_profile=phase_profile)
+
+    if sampling is not None:
+        from repro.checkpoint.sampling import SamplingError, SamplingSpec
+
+        spec = SamplingSpec.from_dict(sampling["spec"])
+        gap = spec.interval_offset(sampling["index"]) - position
+        if gap < 0:
+            raise SamplingError(
+                f"checkpoint position {position} is past interval "
+                f"{sampling['index']}'s start "
+                f"({spec.interval_offset(sampling['index'])})")
+        sim.fast_forward(gap)
+        base = sim.stats.committed_uops
+        sim.run(max_uops=base + spec.warmup_uops)
+        baseline = sim.stats.copy()
+        sim.run(max_uops=base + spec.warmup_uops + spec.interval_uops)
+        return sim.stats.delta_since(baseline).to_dict()
+
+    if checkpoint is not None:
+        # Continue the restored run: warmup/measure volumes are relative
+        # to the checkpointed position.
+        base = sim.stats.committed_uops
+        sim.run(max_uops=base + payload["warmup_uops"],
+                max_cycles=payload.get("max_cycles"))
+        baseline = sim.stats.copy()
+        sim.run(max_uops=(base + payload["warmup_uops"]
+                          + payload["measure_uops"]),
+                max_cycles=payload.get("max_cycles"))
+        return sim.stats.delta_since(baseline).to_dict()
+
     if payload["functional_warmup_uops"]:
         sim.functional_warmup(workload.build_trace(seed),
                               payload["functional_warmup_uops"])
     stats = sim.run_with_warmup(payload["warmup_uops"],
-                                payload["measure_uops"])
+                                payload["measure_uops"],
+                                max_cycles=payload.get("max_cycles"))
     return stats.to_dict()
 
 
 def required_trace_uops(workload_data: Dict[str, Any], *,
-                        warmup_uops: int, measure_uops: int) -> None:
+                        warmup_uops: int, measure_uops: int,
+                        sampling: Optional[Dict[str, Any]] = None) -> None:
     """Refuse a recorded trace too short for the timed volumes.
 
     A trace that exhausts during warmup would measure an empty region —
     all-zero stats that would then be cached persistently. (A trace
     shorter than the *functional* warmup merely warms less, which ends
     the warmup early rather than corrupting the measurement, so only the
-    timed stream is enforced.)
+    timed stream is enforced.) Sampled cells need the stream to reach
+    their own interval's measured end.
     """
     if workload_data.get("kind") != "trace":
         return
-    needed = warmup_uops + measure_uops
+    if sampling is not None:
+        from repro.checkpoint.sampling import SamplingSpec
+
+        spec = SamplingSpec.from_dict(sampling["spec"])
+        needed = (spec.interval_offset(sampling["index"])
+                  + spec.warmup_uops + spec.interval_uops)
+        what = f"interval {sampling['index']} needs offset+warmup+measure"
+    else:
+        needed = warmup_uops + measure_uops
+        what = "the timed run needs warmup+measure"
     if workload_data["uop_count"] < needed:
         raise ValueError(
             f"trace {workload_data.get('path', '?')} holds only "
-            f"{workload_data['uop_count']} µops but the timed run needs "
-            f"warmup+measure = {needed}; re-record with more µops "
-            f"(`repro trace record --uops N`)")
+            f"{workload_data['uop_count']} µops but {what} = {needed}; "
+            f"re-record with more µops (`repro trace record --uops N`)")
 
 
 def run_cells(payloads: Sequence[Dict[str, Any]],
@@ -403,6 +512,12 @@ class Sweep:
     left ``None`` falls back to the environment-driven
     :class:`repro.experiments.runner.Settings` defaults, so sweep files
     stay small and CI can still scale them with ``REPRO_*`` knobs.
+
+    A ``[sampling]`` table (keys of :class:`~repro.checkpoint.sampling.
+    SamplingSpec`: ``intervals``, ``interval_uops``, ``warmup_uops``,
+    ``period_uops``, ``offset_uops``) switches every cell of the sweep
+    to SMARTS-style interval sampling; the per-cell volume fields above
+    are then superseded by the spec's per-interval volumes.
     """
 
     name: str
@@ -413,6 +528,15 @@ class Sweep:
     measure_uops: Optional[int] = None
     functional_warmup_uops: Optional[int] = None
     seed: Optional[int] = None
+    sampling: Optional[Dict[str, int]] = None
+
+    def sampling_spec(self):
+        """The validated :class:`SamplingSpec`, or ``None``."""
+        if self.sampling is None:
+            return None
+        from repro.checkpoint.sampling import SamplingSpec
+
+        return SamplingSpec.from_dict(self.sampling)
 
     def validate(self) -> "Sweep":
         labels = [s.label for s in self.series]
@@ -426,6 +550,7 @@ class Sweep:
             make_config(series.preset)      # fail fast on preset typos
         for workload in self.workloads or ():
             resolve_workload(workload)      # fail fast on workload typos
+        self.sampling_spec()                # fail fast on sampling typos
         return self
 
     # -- construction ----------------------------------------------------
@@ -438,6 +563,7 @@ class Sweep:
             raise ValueError(f"unknown sweep fields: {sorted(unknown)}")
         series = tuple(SweepSeries(**entry) for entry in data["series"])
         workloads = data.get("workloads")
+        sampling = data.get("sampling")
         return Sweep(
             name=data["name"],
             baseline=data["baseline"],
@@ -447,6 +573,7 @@ class Sweep:
             measure_uops=data.get("measure_uops"),
             functional_warmup_uops=data.get("functional_warmup_uops"),
             seed=data.get("seed"),
+            sampling=dict(sampling) if sampling is not None else None,
         ).validate()
 
     @staticmethod

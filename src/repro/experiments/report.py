@@ -42,6 +42,32 @@ def performance_table(result: ExperimentResult,
                               f"{result.baseline_label}")
 
 
+def sampling_table(result: ExperimentResult,
+                   labels: Optional[Sequence[str]] = None) -> str:
+    """Sampled-run view: per-workload interval-mean IPC ± 95% CI.
+
+    Only meaningful for results produced by a sampled experiment
+    (``result.ipc_ci`` populated); detailed grids have no interval
+    spread to report.
+    """
+    labels = list(labels or result.labels())
+    headers = ["workload"] + [f"{label} (IPC ±CI95)" for label in labels]
+    rows = []
+    for wl in result.workloads:
+        row = [wl]
+        for label in labels:
+            ci = result.ipc_ci.get(label, {}).get(wl)
+            if ci is None:
+                row.append(f"{result.get(label, wl).ipc:.3f}")
+            else:
+                mean_ipc, half = ci
+                row.append(f"{mean_ipc:.3f} ±{half:.3f}")
+        rows.append(row)
+    return format_table(headers, rows,
+                        title=f"[{result.name}] sampled IPC "
+                              f"(interval mean ± 95% CI)")
+
+
 def breakdown_table(result: ExperimentResult, label: str) -> str:
     """Figure (b) style: Unique / RpldMiss / RpldBank per workload."""
     headers = ["workload", "Unique", "RpldMiss", "RpldBank", "Total"]

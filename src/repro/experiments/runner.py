@@ -98,11 +98,19 @@ class ExperimentResult:
         self.workloads = list(workloads)
         # label -> workload -> SimStats
         self.stats: Dict[str, Dict[str, SimStats]] = {}
+        # Sampled runs only: label -> workload -> (mean IPC, 95% CI
+        # half-width) over measurement intervals. Empty for detailed
+        # grids; the report layer prints the ± column when present.
+        self.ipc_ci: Dict[str, Dict[str, Tuple[float, float]]] = {}
 
     # -- ingestion -------------------------------------------------------
 
     def add(self, label: str, workload: str, stats: SimStats) -> None:
         self.stats.setdefault(label, {})[workload] = stats
+
+    def add_ci(self, label: str, workload: str, mean_ipc: float,
+               half_width: float) -> None:
+        self.ipc_ci.setdefault(label, {})[workload] = (mean_ipc, half_width)
 
     def labels(self) -> List[str]:
         return list(self.stats)
@@ -217,14 +225,22 @@ def run_experiment(name: str, requests: Sequence[ConfigRequest],
                    baseline_label: str,
                    settings: Optional[Settings] = None,
                    options: Optional[EngineOptions] = None,
-                   cache: Optional[ResultCache] = None) -> ExperimentResult:
+                   cache: Optional[ResultCache] = None,
+                   sampling=None) -> ExperimentResult:
     """Run the grid and return the populated :class:`ExperimentResult`.
 
     Cells already present in ``cache`` (or the process-wide memo / the
     persistent on-disk layer when ``cache`` is omitted) are not
     re-simulated; the rest run serially or across ``options.jobs``
     worker processes.
+
+    With ``sampling`` (a :class:`~repro.checkpoint.sampling.
+    SamplingSpec`) every grid cell expands into per-interval cells; the
+    grid entry becomes the counter-wise interval sum and the result
+    carries the interval-mean IPC ± 95% CI per cell (``ipc_ci``).
     """
+    from repro.checkpoint.sampling import SampledResult, sample_payloads
+
     settings = settings or Settings.from_env()
     options = options or EngineOptions.from_env()
     labels = [r.label for r in requests]
@@ -234,12 +250,24 @@ def run_experiment(name: str, requests: Sequence[ConfigRequest],
         raise ValueError(f"baseline {baseline_label!r} not among series")
     cache = cache if cache is not None else shared_cache(options)
     payloads = _grid_payloads(requests, settings)
+    if sampling is not None:
+        payloads = [cell for base in payloads
+                    for cell in sample_payloads(base, sampling)]
     stats_list = run_cells(payloads, options=options, cache=cache)
     result = ExperimentResult(name, baseline_label, settings.workloads)
     cursor = iter(stats_list)
     for request in requests:
         for workload in settings.workloads:
-            result.add(request.label, workload, next(cursor))
+            if sampling is None:
+                result.add(request.label, workload, next(cursor))
+                continue
+            intervals = [next(cursor) for _ in range(sampling.intervals)]
+            sampled = SampledResult(
+                workload=workload, config_name=request.preset,
+                spec=sampling, interval_stats=intervals)
+            result.add(request.label, workload, sampled.total)
+            result.add_ci(request.label, workload,
+                          sampled.mean_ipc, sampled.ipc_ci95)
     return result
 
 
@@ -250,10 +278,12 @@ def run_sweep(sweep: Sweep,
     """Execute a declarative :class:`Sweep` and return its result grid.
 
     ``settings`` provides the environment-level defaults; the sweep's own
-    overrides (workloads, µop volumes, seed) win over them.
+    overrides (workloads, µop volumes, seed) win over them. A sweep with
+    a ``[sampling]`` table runs every cell in sampled mode.
     """
     sweep.validate()
     base = settings or Settings.from_env()
     effective = base.with_sweep_overrides(sweep)
     return run_experiment(sweep.name, list(sweep.series), sweep.baseline,
-                          settings=effective, options=options, cache=cache)
+                          settings=effective, options=options, cache=cache,
+                          sampling=sweep.sampling_spec())

@@ -92,3 +92,19 @@ class BranchUnit:
             self.ras.push(uop.pc + 1)
         elif kind == "ret":
             self.ras.pop()
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "lookups": self.lookups,
+            "tage": self.tage.state_dict(),
+            "btb": self.btb.state_dict(),
+            "ras": self.ras.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lookups = state["lookups"]
+        self.tage.load_state_dict(state["tage"])
+        self.btb.load_state_dict(state["btb"])
+        self.ras.load_state_dict(state["ras"])

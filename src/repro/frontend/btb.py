@@ -43,3 +43,22 @@ class Btb:
             victim = min(btb_set, key=lambda key: btb_set[key][1])
             del btb_set[victim]
         btb_set[pc] = (target, self._stamp)
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "sets": [list(s.items()) for s in self._sets],
+            "stamp": self._stamp,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for btb_set, items in zip(self._sets, state["sets"]):
+            btb_set.clear()
+            for pc, entry in items:
+                btb_set[pc] = tuple(entry)
+        self._stamp = state["stamp"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]

@@ -224,3 +224,37 @@ class FetchStage:
         """True when the trace is exhausted and the pipe has drained."""
         return (self.trace_exhausted and not self.pipe
                 and not self.wrong_path and not self.replay_queue)
+
+    # ------------------------------------------------------------------
+    # state protocol (repro.checkpoint)
+
+    def state_dict(self, ctx) -> dict:
+        """Frontend pipe + wrong-path bookkeeping; trace-cursor state is
+        owned by the trace source itself."""
+        return {
+            "pipe": [(ready, ctx.ref(uop)) for ready, uop in self.pipe],
+            "wp_groups": [list(group) for group in self._wp_groups],
+            "wp_pending": self._wp_pending,
+            "replay_queue": ctx.refs(self.replay_queue),
+            "wrong_path": self.wrong_path,
+            "wrong_path_pc": self._wrong_path_pc,
+            "stall_until": self._stall_until,
+            "next_seq": self._next_seq,
+            "trace_exhausted": self.trace_exhausted,
+            "fetched_correct": self.fetched_correct,
+            "fetched_wrong": self.fetched_wrong,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self.pipe = deque(
+            (ready, ctx.uop(ref)) for ready, ref in state["pipe"])
+        self._wp_groups = deque(list(g) for g in state["wp_groups"])
+        self._wp_pending = state["wp_pending"]
+        self.replay_queue = deque(ctx.uops(state["replay_queue"]))
+        self.wrong_path = state["wrong_path"]
+        self._wrong_path_pc = state["wrong_path_pc"]
+        self._stall_until = state["stall_until"]
+        self._next_seq = state["next_seq"]
+        self.trace_exhausted = state["trace_exhausted"]
+        self.fetched_correct = state["fetched_correct"]
+        self.fetched_wrong = state["fetched_wrong"]

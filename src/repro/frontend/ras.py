@@ -58,3 +58,24 @@ class ReturnAddressStack:
         self._top, self._depth, stack = snap
         self._stack = list(stack)
         self._stack_snapshot = stack
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "stack": list(self._stack),
+            "top": self._top,
+            "depth": self._depth,
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "underflows": self.underflows,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._stack = list(state["stack"])
+        self._top = state["top"]
+        self._depth = state["depth"]
+        self._stack_snapshot = None      # pure cache: rebuilt on demand
+        self.pushes = state["pushes"]
+        self.pops = state["pops"]
+        self.underflows = state["underflows"]

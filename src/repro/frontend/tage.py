@@ -68,6 +68,7 @@ class TageLite:
         self._index_mask = cfg.table_entries - 1
         self._tag_mask = (1 << cfg.tag_bits) - 1
         self._fold_memo = {}
+        self._pair_memo = {}      # (masked hist, table) -> (idx, tag) folds
         self._rng_state = seed or 1
         self.predictions = 0
         self.mispredictions = 0
@@ -106,6 +107,41 @@ class TageLite:
                 memo.clear()
             memo[key] = folded
         return folded
+
+    def _index_tag(self, pc: int, table: int, hist: int):
+        """Fused :meth:`_index` + :meth:`_tag` for one already-masked
+        history value: one memo entry holds both folds, halving the
+        big-int hashing on the predict path (predict hashes every table
+        per branch — this is the frontend's hottest helper, and the
+        functional fast-forward mode is bounded by it)."""
+        memo = self._pair_memo
+        key = (hist, table)
+        folds = memo.get(key)
+        if folds is None:
+            index_bits = self._index_bits
+            folded_idx = 0
+            mask = (1 << index_bits) - 1
+            v = hist
+            while v:
+                folded_idx ^= v & mask
+                v >>= index_bits
+            tag_bits = self.config.tag_bits
+            folded_tag = 0
+            mask = (1 << tag_bits) - 1
+            v = hist
+            while v:
+                folded_tag ^= v & mask
+                v >>= tag_bits
+            if len(memo) >= self._FOLD_MEMO_LIMIT:
+                memo.clear()
+            folds = memo[key] = (folded_idx, folded_tag)
+        folded_idx, folded_tag = folds
+        bits = self._index_bits
+        index = (folded_idx ^ (pc >> 2) ^ (pc >> (bits + 2))
+                 ^ table) & self._index_mask
+        tag = (folded_tag ^ (pc >> 2)
+               ^ (pc * 0x9E3779B1 >> 13)) & self._tag_mask
+        return index, tag
 
     def _index(self, pc: int, table: int) -> int:
         bits = self._index_bits
@@ -146,10 +182,14 @@ class TageLite:
         provider_idx = -1
         alt_pred = None
         pred = None
+        history = self._history
+        hist_masks = self._hist_masks
+        tables = self._tables
+        index_tag = self._index_tag
         for t in range(self.config.num_tagged_tables - 1, -1, -1):
-            idx = self._index(pc, t)
-            entry = self._tables[t][idx]
-            if entry.tag == self._tag(pc, t):
+            idx, tag = index_tag(pc, t, history & hist_masks[t])
+            entry = tables[t][idx]
+            if entry.tag == tag:
                 if provider == -1:
                     provider, provider_idx = t, idx
                     pred = entry.ctr >= 0
@@ -219,6 +259,35 @@ class TageLite:
         if not self.predictions:
             return 0.0
         return 1.0 - self.mispredictions / self.predictions
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        """Predictor tables + history + RNG (the fold memo is a pure
+        cache and is rebuilt empty on load)."""
+        return {
+            "bimodal": list(self._bimodal),
+            "tables": [[(e.tag, e.ctr, e.useful) for e in table]
+                       for table in self._tables],
+            "history": self._history,
+            "rng_state": self._rng_state,
+            "predictions": self.predictions,
+            "mispredictions": self.mispredictions,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._bimodal[:] = state["bimodal"]
+        for table, rows in zip(self._tables, state["tables"]):
+            for entry, (tag, ctr, useful) in zip(table, rows):
+                entry.tag = tag
+                entry.ctr = ctr
+                entry.useful = useful
+        self._history = state["history"]
+        self._rng_state = state["rng_state"]
+        self.predictions = state["predictions"]
+        self.mispredictions = state["mispredictions"]
+        self._fold_memo = {}
+        self._pair_memo = {}
 
 
 def _saturate(ctr: int) -> int:

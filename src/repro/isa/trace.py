@@ -65,6 +65,17 @@ class WrongPathSynth:
             while r >= 3:
                 r = getrandbits(2)
 
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {"seed": self.seed, "rng": self._rng.getstate()}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.checkpoint.state import set_rng_state
+
+        self.seed = state["seed"]
+        set_rng_state(self._rng, state["rng"])
+
 
 class TraceSource:
     """Protocol for correct-path + wrong-path µop supply."""
@@ -97,6 +108,23 @@ class TraceSource:
         """
         for _ in range(count):
             self.wrong_path_uop(0, 0)
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        """Cursor/RNG state sufficient to resume this stream exactly.
+
+        Every shipped source implements the pair; custom sources must
+        override both to be checkpointable.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the checkpoint "
+            f"state protocol (state_dict/load_state_dict)")
+
+    def load_state_dict(self, state: dict) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the checkpoint "
+            f"state protocol (state_dict/load_state_dict)")
 
 
 class ListTrace(TraceSource):
@@ -140,6 +168,15 @@ class ListTrace(TraceSource):
         self._pos = 0
         self._seq = 0
         self._synth = WrongPathSynth(self._wp_seed)
+
+    def state_dict(self) -> dict:
+        return {"pos": self._pos, "seq": self._seq,
+                "synth": self._synth.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._pos = state["pos"]
+        self._seq = state["seq"]
+        self._synth.load_state_dict(state["synth"])
 
 
 def iterate(source: TraceSource, limit: int) -> Iterator[MicroOp]:

@@ -104,6 +104,26 @@ class BankScheduler:
         return (set_of(addr_a, self.line_bytes, self.num_sets)
                 != set_of(addr_b, self.line_bytes, self.num_sets))
 
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "bank_slots": [(list(key), list(value))
+                           for key, value in self._bank_slots.items()],
+            "cycle_total": list(self._cycle_total.items()),
+            "min_live_cycle": self._min_live_cycle,
+            "conflicts": self.conflicts,
+            "total_delay": self.total_delay,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._bank_slots = {tuple(key): tuple(value)
+                            for key, value in state["bank_slots"]}
+        self._cycle_total = dict(state["cycle_total"])
+        self._min_live_cycle = state["min_live_cycle"]
+        self.conflicts = state["conflicts"]
+        self.total_delay = state["total_delay"]
+
     def _maybe_prune(self, now: int) -> None:
         """Drop bookkeeping for long-past cycles to bound memory."""
         if now - self._min_live_cycle < 4096:

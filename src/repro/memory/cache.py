@@ -99,3 +99,24 @@ class SetAssocCache:
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        """Per-set entries keep insertion order: stamps are unique, so
+        LRU victims are order-independent, but a deterministic encoding
+        keeps checkpoint digests stable."""
+        return {
+            "sets": [list(s.items()) for s in self._sets],
+            "stamp": self._stamp,
+            "accesses": self.accesses,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for cache_set, items in zip(self._sets, state["sets"]):
+            cache_set.clear()
+            cache_set.update(items)
+        self._stamp = state["stamp"]
+        self.accesses = state["accesses"]
+        self.misses = state["misses"]

@@ -62,3 +62,23 @@ class DdrModel:
     def row_hit_rate(self) -> float:
         total = self.row_hits + self.row_misses
         return self.row_hits / total if total else 0.0
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "open_row": list(self._open_row),
+            "bank_free_at": list(self._bank_free_at),
+            "bus_free_at": self._bus_free_at,
+            "reads": self.reads,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._open_row[:] = state["open_row"]
+        self._bank_free_at[:] = state["bank_free_at"]
+        self._bus_free_at = state["bus_free_at"]
+        self.reads = state["reads"]
+        self.row_hits = state["row_hits"]
+        self.row_misses = state["row_misses"]

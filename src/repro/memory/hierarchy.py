@@ -147,6 +147,30 @@ class MemoryHierarchy:
         self.l2.fill(addr)
         return total
 
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        """Assembled-hierarchy state (stats counters are owned by the
+        simulator-level :class:`SimStats`, not duplicated here)."""
+        return {
+            "l1d": self.l1d.state_dict(),
+            "l2": self.l2.state_dict(),
+            "banks": self.banks.state_dict(),
+            "l1_mshrs": self.l1_mshrs.state_dict(),
+            "l2_mshrs": self.l2_mshrs.state_dict(),
+            "prefetcher": self.prefetcher.state_dict(),
+            "dram": self.dram.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.l1d.load_state_dict(state["l1d"])
+        self.l2.load_state_dict(state["l2"])
+        self.banks.load_state_dict(state["banks"])
+        self.l1_mshrs.load_state_dict(state["l1_mshrs"])
+        self.l2_mshrs.load_state_dict(state["l2_mshrs"])
+        self.prefetcher.load_state_dict(state["prefetcher"])
+        self.dram.load_state_dict(state["dram"])
+
     def _train_prefetcher(self, pc: int, addr: int, now: int) -> None:
         """Issue prefetches through the DRAM model.
 

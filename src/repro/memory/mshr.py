@@ -62,3 +62,21 @@ class MshrFile:
         self._inflight[line] = ready_cycle
         self.allocations += 1
         return ready_cycle
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        """Entries keep insertion order — the full-file eviction walk
+        breaks completion-cycle ties by it."""
+        return {
+            "inflight": list(self._inflight.items()),
+            "allocations": self.allocations,
+            "merges": self.merges,
+            "full_stalls": self.full_stalls,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._inflight = dict(state["inflight"])
+        self.allocations = state["allocations"]
+        self.merges = state["merges"]
+        self.full_stalls = state["full_stalls"]

@@ -73,3 +73,23 @@ class StridePrefetcher:
     @property
     def accuracy(self) -> float:
         return self.useful / self.issued if self.issued else 0.0
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        """The prefetched-line set is stored sorted: its iteration order
+        is never consulted (membership tests only), and sorting keeps
+        the encoding — and thus checkpoint digests — deterministic."""
+        return {
+            "table": [(idx, tuple(entry))
+                      for idx, entry in self._table.items()],
+            "prefetched_lines": sorted(self._prefetched_lines),
+            "issued": self.issued,
+            "useful": self.useful,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._table = {idx: tuple(entry) for idx, entry in state["table"]}
+        self._prefetched_lines = set(state["prefetched_lines"])
+        self.issued = state["issued"]
+        self.useful = state["useful"]

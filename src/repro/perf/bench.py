@@ -59,7 +59,15 @@ QUICK_SETTINGS = Settings(workloads=QUICK_WORKLOADS, warmup_uops=1_000,
 
 #: µops captured/decoded by the ``trace`` benchmark.
 TRACE_BENCH_UOPS = 60_000
-TRACE_BENCH_UOPS_QUICK = 20_000
+TRACE_BENCH_UOPS_QUICK = 40_000
+
+#: The ``sampling`` benchmark's fig8-style series (baseline + the
+#: paper's combined mechanism stacks — the headline configurations).
+SAMPLING_PRESETS: Tuple[str, ...] = (
+    "Baseline_0", "SpecSched_4_Combined", "SpecSched_4_Crit")
+SAMPLING_PRESETS_QUICK: Tuple[str, ...] = (
+    "Baseline_0", "SpecSched_4_Combined")
+SAMPLING_WORKLOADS_QUICK: Tuple[str, ...] = ("gzip", "mcf")
 
 
 # ---------------------------------------------------------------------------
@@ -178,17 +186,28 @@ def calibrate(target_seconds: float = 0.2) -> float:
     Committed baselines carry this figure so the CI gate can compare
     ``uops_per_sec / calibration`` *ratios* — a slower CI runner scales
     both numerator and denominator, a slower simulator only the first.
+    The collector is kept out of the loop for the same reason as in
+    :func:`bench_trace`: a GC pause inside a 0.2s window is pure noise.
     """
+    import gc
+
     chunk = 100_000
     ops = 0
-    start = time.perf_counter()
-    deadline = start + target_seconds
-    while True:
-        _spin(chunk)
-        ops += chunk
-        now = time.perf_counter()
-        if now >= deadline:
-            return ops / (now - start)
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        deadline = start + target_seconds
+        while True:
+            _spin(chunk)
+            ops += chunk
+            now = time.perf_counter()
+            if now >= deadline:
+                return ops / (now - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
 
 # ---------------------------------------------------------------------------
@@ -259,6 +278,17 @@ def bench_trace(quick: bool,
     workload = resolve_workload(settings.workloads[0])
     fd, path = tempfile.mkstemp(suffix=".trc")
     os.close(fd)
+    # The timed regions are fractions of a second and allocate one µop
+    # object per record: on a large heap (mid-test-suite, long-lived
+    # sessions) generational GC pauses land inside them stochastically
+    # and swing the quick metric by ±20% — past the CI gate's limit all
+    # by themselves. Collect once up front, then keep the collector out
+    # of the measurement.
+    import gc
+
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
     try:
         start = time.perf_counter()
         info = capture(workload.build_trace(settings.seed), path, uops,
@@ -266,14 +296,21 @@ def bench_trace(quick: bool,
         record_elapsed = time.perf_counter() - start
         # Decode through FileTrace.next_uop — the exact replay path that
         # feeds the frontend (batched frame decode), so the gated metric
-        # moves when that path does.
-        replay = FileTrace(path)
-        start = time.perf_counter()
-        decoded = 0
-        while replay.next_uop() is not None:
-            decoded += 1
-        decode_elapsed = time.perf_counter() - start
+        # moves when that path does. Best of two passes: the pass is
+        # ~0.1s, and the faster one is the less noise-biased estimate of
+        # the code's actual speed (this is the gated metric).
+        decode_elapsed = float("inf")
+        for _ in range(2):
+            replay = FileTrace(path)
+            start = time.perf_counter()
+            decoded = 0
+            while replay.next_uop() is not None:
+                decoded += 1
+            decode_elapsed = min(decode_elapsed,
+                                 time.perf_counter() - start)
     finally:
+        if gc_was_enabled:
+            gc.enable()
         try:
             os.unlink(path)
         except OSError:
@@ -288,6 +325,85 @@ def bench_trace(quick: bool,
         "file_bytes": float(info.file_bytes),
     }
     return _finish("trace", metrics, settings, quick, profile)
+
+
+def bench_sampling(quick: bool,
+                   profile: Optional[PhaseProfile] = None) -> BenchResult:
+    """Sampled vs full-detailed throughput on the headline grid.
+
+    For each (preset, Table-2 workload) cell the same stream span is
+    simulated twice: fully detailed (the reference — every µop through
+    the OoO backend) and SMARTS-sampled (functional fast-forward +
+    detailed measurement intervals, the chained single-pass shape).
+    Metrics record the wall-clock speedup and the sampled IPC's relative
+    error against the detailed region IPC — the two numbers that decide
+    whether sampling is usable for headline results.
+    """
+    from repro.checkpoint.sampling import SamplingSpec, run_sampled_chained
+
+    settings = _settings(quick)
+    if quick:
+        presets = SAMPLING_PRESETS_QUICK
+        workloads = SAMPLING_WORKLOADS_QUICK
+        spec = SamplingSpec(intervals=6, interval_uops=1_000,
+                            warmup_uops=250, period_uops=5_000,
+                            offset_uops=10_000)
+    else:
+        # A ~320k-µop span per cell: long-trace territory, where the
+        # linear-in-cycles detailed cost is what sampling exists to
+        # break. 16 intervals keep phase aliasing (xalancbmk) inside
+        # the error budget; tuning history in tests/checkpoint.
+        presets = SAMPLING_PRESETS
+        workloads = QUICK_WORKLOADS       # the diverse Table-2 subset
+        spec = SamplingSpec(intervals=16, interval_uops=1_000,
+                            warmup_uops=300, period_uops=20_000,
+                            offset_uops=20_000)
+    resolved = {name: resolve_workload(name) for name in workloads}
+    span = spec.span_uops
+    detailed_wall = 0.0
+    sampled_wall = 0.0
+    errors = []
+    for preset in presets:
+        for name in workloads:
+            payload = cell_payload(
+                preset, resolved[name], warmup_uops=spec.offset_uops,
+                measure_uops=span - spec.offset_uops,
+                functional_warmup_uops=0, seed=settings.seed)
+            start = time.perf_counter()
+            detailed = SimStats.from_dict(
+                simulate_payload(payload, phase_profile=profile))
+            detailed_wall += time.perf_counter() - start
+            start = time.perf_counter()
+            sampled = run_sampled_chained(resolved[name], preset, spec,
+                                          seed=settings.seed)
+            sampled_wall += time.perf_counter() - start
+            if detailed.ipc:
+                errors.append(abs(sampled.mean_ipc - detailed.ipc)
+                              / detailed.ipc)
+    # Provenance records what actually ran (the sampled grid), not the
+    # REPRO_* sweep volumes this benchmark ignores.
+    settings = Settings(workloads=tuple(workloads),
+                        warmup_uops=spec.warmup_uops,
+                        measure_uops=spec.interval_uops,
+                        functional_warmup_uops=spec.offset_uops,
+                        seed=settings.seed)
+    cells = float(len(presets) * len(workloads))
+    metrics = {
+        "speedup": detailed_wall / sampled_wall if sampled_wall else 0.0,
+        "detailed_wall_seconds": detailed_wall,
+        "sampled_wall_seconds": sampled_wall,
+        "wall_seconds": detailed_wall + sampled_wall,
+        "mean_ipc_rel_err": sum(errors) / len(errors) if errors else 0.0,
+        "max_ipc_rel_err": max(errors) if errors else 0.0,
+        "cells": cells,
+        "span_uops": float(span),
+        "detailed_uops_per_interval_cell": float(spec.detailed_uops),
+        "detailed_uops_per_sec": (cells * span / detailed_wall
+                                  if detailed_wall else 0.0),
+        "sampled_span_uops_per_sec": (cells * span / sampled_wall
+                                      if sampled_wall else 0.0),
+    }
+    return _finish("sampling", metrics, settings, quick, profile)
 
 
 def _finish(name: str, metrics: Dict[str, float], settings: Settings,
@@ -307,6 +423,7 @@ BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
     "headline": bench_headline,
     "table2": bench_table2,
     "trace": bench_trace,
+    "sampling": bench_sampling,
 }
 
 

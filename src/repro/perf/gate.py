@@ -24,6 +24,9 @@ GATED_METRICS: Dict[str, str] = {
     "headline": "uops_per_sec",
     "table2": "uops_per_sec",
     "trace": "replay_uops_per_sec",
+    # The sampled-vs-detailed wall-clock ratio: a regression here means
+    # sampling lost its reason to exist, whatever the machine speed.
+    "sampling": "speedup",
 }
 
 
@@ -44,8 +47,16 @@ class GateFailure:
                 f"normalized {self.current:.1f} vs {self.baseline:.1f}")
 
 
+#: Metrics that are already machine-neutral ratios (two wall times on
+#: the same machine): dividing by the calibration figure would
+#: *introduce* machine dependence instead of removing it.
+RATIO_METRICS = frozenset({"speedup"})
+
+
 def _normalized(result: BenchResult, metric: str) -> float:
     value = result.metrics.get(metric, 0.0)
+    if metric in RATIO_METRICS:
+        return value
     calibration = result.calibration_ops_per_sec
     return value / calibration if calibration > 0 else value
 

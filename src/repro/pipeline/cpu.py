@@ -27,6 +27,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.backend.fu import FuPool
+from repro.checkpoint.state import UOP_SLOTS, UopCodec, UopDecoder
 from repro.backend.iq import IssueQueue
 from repro.backend.lsq import LoadStoreQueue
 from repro.backend.prf import Scoreboard
@@ -136,27 +137,87 @@ class Simulator:
         the same seed; the timed run then replays the same stream over warm
         structures.
         """
+        self._functional_stream(trace, uops)
+
+    def fast_forward(self, uops: int) -> int:
+        """Functionally consume ``uops`` from *this simulator's own*
+        trace: caches and branch predictors are warmed, the OoO backend
+        is bypassed entirely, and the trace cursor advances so a
+        subsequent :meth:`run` continues where fast-forward stopped.
+
+        This is the SMARTS-style functional warming mode the sampling
+        driver (:mod:`repro.checkpoint.sampling`) interleaves with
+        detailed measurement intervals; throughput is an order of
+        magnitude above detailed simulation because no pipeline state is
+        touched. Unlike :meth:`functional_warmup` (whose behaviour is
+        golden-locked), fast-forward also trains the scheduling policy's
+        per-PC hit/miss filter with each load's probe outcome — the
+        filter's saturate-and-silence dynamics span far more committed
+        loads than a measurement interval, so leaving it cold biases
+        every filter-gated configuration toward Always-Hit behaviour.
+        Returns the number of µops actually consumed (short when the
+        trace exhausts).
+        """
+        return self._functional_stream(self.trace, uops, train_policy=True)
+
+    def _functional_stream(self, trace: TraceSource, uops: int,
+                           train_policy: bool = False) -> int:
+        # The memory path is inlined against the cache internals (the
+        # exact fill/probe semantics of SetAssocCache, hit path only):
+        # this loop IS the sampling mode's throughput bound, and the
+        # method-call round trips per µop were a measurable share of it.
+        # State effects are identical to calling fill()/probe() — the
+        # golden-locked functional_warmup shares this body.
         l1d, l2 = self.hierarchy.l1d, self.hierarchy.l2
         l1d_fill, l2_fill, l2_probe = l1d.fill, l2.fill, l2.probe
+        l1_offset = l1d._offset_bits
+        l1_mask = l1d._index_mask
+        l1_set_bits = l1d._set_bits
+        l1_sets = l1d._sets
+        l2_offset = l2._offset_bits
+        l2_mask = l2._index_mask
+        l2_set_bits = l2._set_bits
+        l2_sets = l2._sets
         train = self.hierarchy.prefetcher.train_and_prefetch
         predict = self.branch_unit.predict
         resolve = self.branch_unit.resolve
+        on_load_commit = self.policy.on_load_commit if train_policy else None
         next_uop = trace.next_uop
         line_bytes = self.config.memory.l2.line_bytes
-        for _ in range(uops):
+        for consumed in range(uops):
             uop = next_uop()
             if uop is None:
-                return
+                return consumed
             if uop.is_mem:
                 addr = uop.mem_addr
-                l1d_fill(addr)
-                if not l2_probe(addr):
+                l1_line = addr >> l1_offset
+                l1_set = l1_sets[l1_line & l1_mask]
+                l1_tag = l1_line >> l1_set_bits
+                if on_load_commit is not None and uop.is_load:
+                    # The probe outcome is what a detailed run would have
+                    # committed (modulo in-flight effects): train the
+                    # per-PC filter on it before the line is installed.
+                    uop.l1_hit = l1_tag in l1_set
+                    on_load_commit(uop)
+                if l1_tag in l1_set:          # fill() hit path: LRU touch
+                    l1d._stamp += 1
+                    l1_set[l1_tag] = l1d._stamp
+                else:
+                    l1d_fill(addr)
+                l2_line = addr >> l2_offset
+                l2_set = l2_sets[l2_line & l2_mask]
+                l2_tag = l2_line >> l2_set_bits
+                if l2_tag in l2_set:          # probe hit: fill() = touch
+                    l2._stamp += 1
+                    l2_set[l2_tag] = l2._stamp
+                else:
                     for line in train(uop.pc, addr):
                         l2_fill(line * line_bytes)
-                l2_fill(addr)
+                    l2_fill(addr)
             elif uop.is_branch:
                 uop.pred_taken, uop.pred_target = predict(uop)
                 resolve(uop)
+        return uops
 
     def step(self) -> None:
         now = self.now
@@ -618,6 +679,100 @@ class Simulator:
         self.iq.squash_younger(oldest - 1)
         self.recovery.squash_younger(oldest - 1)
         self.lsq.squash_younger(oldest - 1)
+
+    # ==================================================================
+    # state protocol (repro.checkpoint)
+    # ==================================================================
+
+    #: Bumped when the simulator-level state layout changes.
+    STATE_VERSION = 1
+
+    def state_dict(self) -> Dict:
+        """Complete machine state: every component through the uniform
+        protocol, with in-flight µops deduplicated into one identity-
+        preserving table (see :class:`repro.checkpoint.state.UopCodec`).
+
+        Restoring the result into a fresh simulator built from the same
+        configuration and workload reproduces the continued run's
+        ``SimStats`` bit-identically (the round-trip suite under
+        ``tests/checkpoint/`` holds this claim in place).
+        """
+        ctx = UopCodec()
+        state = {
+            "version": self.STATE_VERSION,
+            "now": self.now,
+            "issue_block_cycle": self._issue_block_cycle,
+            "last_commit_cycle": self._last_commit_cycle,
+            "l1_miss_this_cycle": self._l1_miss_this_cycle,
+            "l1_access_this_cycle": self._l1_access_this_cycle,
+            "exec_queue": [
+                (cycle, [(ctx.ref(uop), issue_id)
+                         for uop, issue_id in entries])
+                for cycle, entries in self._exec_queue.items()],
+            "completion_queue": [
+                (cycle, [(ctx.ref(uop), issue_id)
+                         for uop, issue_id in entries])
+                for cycle, entries in self._completion_queue.items()],
+            "stats": self.stats.state_dict(),
+            "trace": self.trace.state_dict(),
+            "fetch": self.fetch.state_dict(ctx),
+            "branch_unit": self.branch_unit.state_dict(),
+            "renamer": self.renamer.state_dict(),
+            "scoreboard": self.scoreboard.state_dict(ctx),
+            "rob": self.rob.state_dict(ctx),
+            "iq": self.iq.state_dict(ctx),
+            "lsq": self.lsq.state_dict(ctx),
+            "fus": self.fus.state_dict(),
+            "recovery": self.recovery.state_dict(ctx),
+            "replay": self.replay.state_dict(ctx),
+            "store_sets": self.store_sets.state_dict(ctx),
+            "policy": self.policy.state_dict(),
+            "hierarchy": self.hierarchy.state_dict(),
+        }
+        # Encode the µop table last: serializing components (and then the
+        # table itself, via store_dep chains) may register further µops.
+        state["uops"] = ctx.table()
+        state["uop_slots"] = list(UOP_SLOTS)
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this simulator.
+
+        The simulator must have been constructed from the same
+        configuration and an equivalent trace source (same workload and
+        seed) — the trace cursor, like every component, is overwritten.
+        """
+        if state.get("version") != self.STATE_VERSION:
+            raise ValueError(
+                f"checkpoint state version {state.get('version')} "
+                f"(this build reads {self.STATE_VERSION})")
+        ctx = UopDecoder(state["uops"], state.get("uop_slots"))
+        self.now = state["now"]
+        self._issue_block_cycle = state["issue_block_cycle"]
+        self._last_commit_cycle = state["last_commit_cycle"]
+        self._l1_miss_this_cycle = state["l1_miss_this_cycle"]
+        self._l1_access_this_cycle = state["l1_access_this_cycle"]
+        self._exec_queue = {
+            cycle: [(ctx.uop(ref), issue_id) for ref, issue_id in entries]
+            for cycle, entries in state["exec_queue"]}
+        self._completion_queue = {
+            cycle: [(ctx.uop(ref), issue_id) for ref, issue_id in entries]
+            for cycle, entries in state["completion_queue"]}
+        self.stats.load_state_dict(state["stats"])
+        self.trace.load_state_dict(state["trace"])
+        self.fetch.load_state_dict(state["fetch"], ctx)
+        self.branch_unit.load_state_dict(state["branch_unit"])
+        self.renamer.load_state_dict(state["renamer"])
+        self.scoreboard.load_state_dict(state["scoreboard"], ctx)
+        self.rob.load_state_dict(state["rob"], ctx)
+        self.iq.load_state_dict(state["iq"], ctx)
+        self.lsq.load_state_dict(state["lsq"], ctx)
+        self.fus.load_state_dict(state["fus"])
+        self.recovery.load_state_dict(state["recovery"], ctx)
+        self.replay.load_state_dict(state["replay"], ctx)
+        self.store_sets.load_state_dict(state["store_sets"], ctx)
+        self.policy.load_state_dict(state["policy"])
+        self.hierarchy.load_state_dict(state["hierarchy"])
 
     # ==================================================================
     # introspection helpers (tests, examples)

@@ -4,6 +4,11 @@ The experiment harness and the examples go through these entry points, so
 defaults (warmup/measure µop counts) are centralized here. Counts are small
 relative to the paper's 50M+100M because the synthetic workloads are
 stationary (DESIGN.md §2); override them for higher-fidelity runs.
+
+Execution funnels through the engine's
+:func:`~repro.experiments.engine.simulate_payload` — the same worker
+entry point sweeps and sampled runs use — so checkpoint and sampling
+options cannot diverge between the one-shot and batch paths.
 """
 
 from __future__ import annotations
@@ -14,8 +19,7 @@ from typing import Optional, Union
 from repro.common.config import SimConfig
 from repro.common.stats import SimStats
 from repro.core.presets import make_config
-from repro.pipeline.cpu import Simulator
-from repro.traces.registry import TraceWorkload, resolve_workload
+from repro.traces.registry import resolve_workload
 from repro.workloads.spec import WorkloadSpec
 
 DEFAULT_WARMUP_UOPS = 3_000
@@ -40,6 +44,43 @@ class RunResult:
         return self.stats.ipc
 
 
+def build_payload(
+    workload: Union[str, WorkloadSpec],
+    config: Union[str, SimConfig],
+    warmup_uops: int = DEFAULT_WARMUP_UOPS,
+    measure_uops: int = DEFAULT_MEASURE_UOPS,
+    seed: Optional[int] = None,
+    banked: bool = True,
+    max_cycles: Optional[int] = DEFAULT_MAX_CYCLES,
+    functional_warmup_uops: int = DEFAULT_FUNCTIONAL_WARMUP_UOPS,
+    checkpoint=None,
+):
+    """Resolve arguments into one engine cell payload (plus its pieces).
+
+    Returns ``(payload, resolved workload, SimConfig)``.
+    """
+    from repro.experiments.engine import base_cell_payload
+
+    spec = resolve_workload(workload)
+    if isinstance(config, str):
+        config = make_config(config, banked=banked)
+    if seed is None:
+        # Trace workloads carry no seed (the stream was fixed at record
+        # time and build_trace ignores it); specs/scenarios default to
+        # their own.
+        seed = int(getattr(spec, "seed", 0) or 0)
+    payload = base_cell_payload(
+        config, spec, warmup_uops=warmup_uops, measure_uops=measure_uops,
+        functional_warmup_uops=functional_warmup_uops, seed=seed)
+    if max_cycles is not None:
+        payload["max_cycles"] = max_cycles
+    if checkpoint is not None:
+        from repro.checkpoint.sampling import checkpoint_reference
+
+        payload["checkpoint"] = checkpoint_reference(checkpoint)
+    return payload, spec, config
+
+
 def run_workload(
     workload: Union[str, WorkloadSpec],
     config: Union[str, SimConfig],
@@ -49,6 +90,7 @@ def run_workload(
     banked: bool = True,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     functional_warmup_uops: int = DEFAULT_FUNCTIONAL_WARMUP_UOPS,
+    checkpoint=None,
 ) -> RunResult:
     """Run ``workload`` under ``config`` and return measured-region stats.
 
@@ -56,25 +98,21 @@ def run_workload(
     :class:`SimConfig`; ``banked`` only applies when a name is given.
     ``workload`` may be a suite name, any other workload-registry name or
     path (scenario spec, recorded trace), or a workload object.
+    ``checkpoint`` (a ``.ckpt`` path) resumes from saved warm state
+    instead of starting cold — warmup/measure volumes then count from
+    the checkpointed position.
     """
-    spec = resolve_workload(workload)
-    if isinstance(spec, TraceWorkload):
-        needed = warmup_uops + measure_uops
-        if spec.info.uop_count < needed:
-            raise ValueError(
-                f"trace {spec.path} holds only {spec.info.uop_count} µops "
-                f"but the timed run needs warmup+measure = {needed}; "
-                f"re-record with more µops (`repro trace record --uops N`) "
-                f"or lower the volumes")
-    if isinstance(config, str):
-        config = make_config(config, banked=banked)
-    trace = spec.build_trace(seed)
-    sim = Simulator(config, trace)
-    if functional_warmup_uops:
-        sim.functional_warmup(spec.build_trace(seed), functional_warmup_uops)
-    stats = sim.run_with_warmup(warmup_uops, measure_uops,
-                                max_cycles=max_cycles)
-    return RunResult(workload=spec.name, config_name=config.name, stats=stats)
+    from repro.experiments.engine import simulate_payload
+
+    payload, spec, config = build_payload(
+        workload, config, warmup_uops=warmup_uops,
+        measure_uops=measure_uops, seed=seed, banked=banked,
+        max_cycles=max_cycles,
+        functional_warmup_uops=functional_warmup_uops,
+        checkpoint=checkpoint)
+    stats = SimStats.from_dict(simulate_payload(payload))
+    return RunResult(workload=spec.name, config_name=config.name,
+                     stats=stats)
 
 
 def run_config(

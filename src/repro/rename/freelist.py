@@ -42,3 +42,11 @@ class FreeList:
     def release_many(self, pregs: Iterable[int]) -> None:
         for preg in pregs:
             self.release(preg)
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {"free": list(self._free)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._free = deque(state["free"])

@@ -34,3 +34,11 @@ class RegisterAliasTable:
 
     def snapshot(self) -> List[int]:
         return list(self._map)
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {"map": list(self._map)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._map = list(state["map"])

@@ -79,3 +79,19 @@ class RegisterRenamer:
 
     def free_counts(self) -> tuple:
         return (len(self.int_free), len(self.fp_free))
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "rat": self.rat.state_dict(),
+            "int_free": self.int_free.state_dict(),
+            "fp_free": self.fp_free.state_dict(),
+            "renames": self.renames,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rat.load_state_dict(state["rat"])
+        self.int_free.load_state_dict(state["int_free"])
+        self.fp_free.load_state_dict(state["fp_free"])
+        self.renames = state["renames"]

@@ -414,3 +414,40 @@ class FileTrace(TraceSource):
         self._frames = _iter_frames(self.path)
         self._batch = deque()
         self.replayed = 0
+
+    # -- state protocol (repro.checkpoint) -----------------------------
+
+    def state_dict(self) -> dict:
+        """The cursor is the replayed-µop count; restore re-seeks the
+        frame stream (whole frames are skipped without decoding)."""
+        return {"replayed": self.replayed,
+                "synth": self._synth.state_dict(),
+                "loop": self._loop}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._loop = state["loop"]
+        self._synth.load_state_dict(state["synth"])
+        self._seek(state["replayed"])
+
+    def _seek(self, count: int) -> None:
+        """Position the stream so the next µop is number ``count``."""
+        self._frames = _iter_frames(self.path)
+        self._batch = deque()
+        remaining = count
+        if self._loop and self.info.uop_count:
+            remaining %= self.info.uop_count
+        record_size = RECORD.size
+        while remaining:
+            frame = next(self._frames, None)
+            if frame is None:           # exhausted, non-looping stream
+                break
+            records = len(frame) // record_size
+            if records <= remaining:
+                remaining -= records
+            else:
+                batch = decode_frame(frame)
+                for _ in range(remaining):
+                    batch.popleft()
+                self._batch = batch
+                remaining = 0
+        self.replayed = count

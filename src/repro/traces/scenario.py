@@ -352,6 +352,37 @@ class ScenarioTrace(TraceSource):
     def skip_wrong_path(self, count: int) -> None:
         self._wp_synth.skip(count)
 
+    # -- state protocol (repro.checkpoint) -------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "rng": self.rng.getstate(),
+            "wp_synth": self._wp_synth.state_dict(),
+            "state": self._state.name if self._state is not None else None,
+            "ring": list(self._ring),
+            "next_reg": self._next_reg,
+            "cursors": list(self._cursors),
+            "next_stream": self._next_stream,
+            "last_load_dst": self._last_load_dst,
+            "branch_count": self._branch_count,
+            "emitted": self.emitted,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.checkpoint.state import set_rng_state
+
+        set_rng_state(self.rng, state["rng"])
+        self._wp_synth.load_state_dict(state["wp_synth"])
+        name = state["state"]
+        self._state = self._by_name[name] if name is not None else None
+        self._ring = list(state["ring"])
+        self._next_reg = state["next_reg"]
+        self._cursors = list(state["cursors"])
+        self._next_stream = state["next_stream"]
+        self._last_load_dst = state["last_load_dst"]
+        self._branch_count = state["branch_count"]
+        self.emitted = state["emitted"]
+
     # -- emission --------------------------------------------------------
 
     def _emit(self, state: MixState) -> MicroOp:

@@ -81,6 +81,27 @@ class Kernel:
                        srcs=[self.ireg(0)], dst=None, taken=taken,
                        target=self.pc_base if taken else self.pc(pc_off) + 1)
 
+    # -- state protocol (repro.checkpoint) -------------------------------
+
+    def state_dict(self) -> dict:
+        """Every kernel attribute is plain data except the RNG, so one
+        generic capture covers all kernel kinds (cursors like
+        ``_offsets``/``_idx``/``_cursor`` included)."""
+        attrs = {}
+        for key, value in self.__dict__.items():
+            if key == "rng":
+                continue
+            attrs[key] = list(value) if isinstance(value, list) else value
+        return {"attrs": attrs, "rng": self.rng.getstate()}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.checkpoint.state import set_rng_state
+
+        for key, value in state["attrs"].items():
+            setattr(self, key,
+                    list(value) if isinstance(value, list) else value)
+        set_rng_state(self.rng, state["rng"])
+
 
 class StreamKernel(Kernel):
     """Sequential loads + accumulation (swim/libquantum/lbm-like)."""

@@ -152,3 +152,26 @@ class WorkloadTrace(TraceSource):
 
     def skip_wrong_path(self, count: int) -> None:
         self._wp_synth.skip(count)
+
+    # -- state protocol (repro.checkpoint) -------------------------------
+
+    def state_dict(self) -> dict:
+        from repro.checkpoint.state import encode_arch_uop
+
+        return {
+            "rng": self.rng.getstate(),
+            "wp_synth": self._wp_synth.state_dict(),
+            "kernels": [kernel.state_dict() for kernel in self.kernels],
+            "buffer": [encode_arch_uop(uop) for uop in self._buffer],
+            "emitted": self.emitted,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.checkpoint.state import decode_arch_uop, set_rng_state
+
+        set_rng_state(self.rng, state["rng"])
+        self._wp_synth.load_state_dict(state["wp_synth"])
+        for kernel, kernel_state in zip(self.kernels, state["kernels"]):
+            kernel.load_state_dict(kernel_state)
+        self._buffer = deque(decode_arch_uop(row) for row in state["buffer"])
+        self.emitted = state["emitted"]

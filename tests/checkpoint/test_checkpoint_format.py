@@ -1,0 +1,149 @@
+"""Checkpoint file-format tests: header, digest, tamper resistance."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.checkpoint.format import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    FORMAT_VERSION,
+    HEADER,
+    MAGIC,
+    checkpoint_digest,
+    load_checkpoint,
+    read_info,
+    save_checkpoint,
+)
+from repro.core.presets import make_config
+from repro.pipeline.cpu import Simulator
+from repro.traces.registry import resolve_workload
+
+
+@pytest.fixture(scope="module")
+def warm_sim():
+    workload = resolve_workload("gzip")
+    sim = Simulator(make_config("SpecSched_4_Combined"),
+                    workload.build_trace(1))
+    sim.fast_forward(5_000)
+    sim.run(max_uops=2_000)
+    return workload, sim
+
+
+def test_info_fields(tmp_path, warm_sim):
+    workload, sim = warm_sim
+    path = tmp_path / "a.ckpt"
+    info = save_checkpoint(sim, path, workload=workload, seed=1,
+                           provenance={"mode": "detailed"})
+    assert info.version == FORMAT_VERSION
+    assert info.compressed
+    assert info.config_name == "SpecSched_4_Combined"
+    assert info.workload_name == "gzip"
+    assert info.seed == 1
+    assert info.uops_committed == sim.stats.committed_uops
+    assert info.cycles == sim.stats.cycles
+    assert info.provenance["mode"] == "detailed"
+    assert len(info.digest) == 64
+    assert info.file_bytes == path.stat().st_size
+    assert info.raw_bytes > info.file_bytes  # zlib actually compressed
+    assert checkpoint_digest(path) == info.digest
+
+
+def test_digest_is_content_addressed(tmp_path, warm_sim):
+    """Same state → same digest, independent of path and compression."""
+    workload, sim = warm_sim
+    a = save_checkpoint(sim, tmp_path / "a.ckpt", workload=workload, seed=1)
+    b = save_checkpoint(sim, tmp_path / "b.ckpt", workload=workload, seed=1)
+    raw = save_checkpoint(sim, tmp_path / "c.ckpt", workload=workload,
+                          seed=1, compress=False)
+    assert a.digest == b.digest == raw.digest
+    assert not raw.compressed
+    # ... and a different state digests differently.
+    sim.run(max_uops=sim.stats.committed_uops + 500)
+    c = save_checkpoint(sim, tmp_path / "d.ckpt", workload=workload, seed=1)
+    assert c.digest != a.digest
+
+
+def test_uncompressed_roundtrip(tmp_path, warm_sim):
+    workload, sim = warm_sim
+    path = tmp_path / "raw.ckpt"
+    save_checkpoint(sim, path, workload=workload, seed=1, compress=False)
+    loaded = load_checkpoint(path)
+    assert loaded.payload["sim"]["stats"] == sim.stats.to_dict()
+
+
+def test_truncated_file_rejected(tmp_path, warm_sim):
+    workload, sim = warm_sim
+    path = tmp_path / "t.ckpt"
+    save_checkpoint(sim, path, workload=workload, seed=1)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(CheckpointError):
+        load_checkpoint(path)
+
+
+def test_corrupt_payload_rejected(tmp_path, warm_sim):
+    workload, sim = warm_sim
+    path = tmp_path / "c.ckpt"
+    save_checkpoint(sim, path, workload=workload, seed=1)
+    data = bytearray(path.read_bytes())
+    data[-20] ^= 0xFF                    # flip a payload byte
+    path.write_bytes(bytes(data))
+    with pytest.raises(CheckpointError):
+        load_checkpoint(path)
+
+
+def test_bad_magic_and_version_rejected(tmp_path, warm_sim):
+    workload, sim = warm_sim
+    path = tmp_path / "m.ckpt"
+    save_checkpoint(sim, path, workload=workload, seed=1)
+    data = bytearray(path.read_bytes())
+    original = bytes(data)
+
+    data[:4] = b"NOPE"
+    path.write_bytes(bytes(data))
+    with pytest.raises(CheckpointError, match="magic"):
+        read_info(path)
+
+    data = bytearray(original)
+    struct.pack_into("<H", data, 4, FORMAT_VERSION + 1)
+    path.write_bytes(bytes(data))
+    with pytest.raises(CheckpointError, match="version"):
+        read_info(path)
+
+
+def test_code_bearing_payload_rejected(tmp_path):
+    """A payload referencing any global (class/function) must not load."""
+    import math
+    import pickle
+    import zlib
+
+    payload = pickle.dumps({"evil": math.sqrt}, protocol=4)
+    import hashlib
+    import json
+
+    meta = json.dumps({"schema": CHECKPOINT_SCHEMA}).encode()
+    path = tmp_path / "evil.ckpt"
+    with path.open("wb") as handle:
+        handle.write(HEADER.pack(MAGIC, FORMAT_VERSION, 0x1, len(payload),
+                                 hashlib.sha256(payload).digest(),
+                                 len(meta), b"\0" * 12))
+        handle.write(meta)
+        handle.write(zlib.compress(payload))
+    with pytest.raises(CheckpointError, match="plain data"):
+        load_checkpoint(path)
+
+
+def test_restore_without_workload_needs_trace(tmp_path, warm_sim):
+    _workload, sim = warm_sim
+    path = tmp_path / "n.ckpt"
+    save_checkpoint(sim, path, workload=None, seed=None)
+    loaded = load_checkpoint(path)
+    with pytest.raises(CheckpointError, match="no workload"):
+        loaded.restore()
+    # ... but an explicit equivalent trace works.
+    workload = resolve_workload("gzip")
+    restored = loaded.restore(trace=workload.build_trace(1))
+    assert restored.stats.to_dict() == sim.stats.to_dict()

@@ -1,0 +1,255 @@
+"""Sampling-layer tests: spec validation, cell compilation, cache keys,
+determinism, aggregation and the sampled sweep/report path."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.checkpoint.format import save_checkpoint
+from repro.checkpoint.sampling import (
+    SampledResult,
+    SamplingError,
+    SamplingSpec,
+    checkpoint_reference,
+    run_sampled,
+    run_sampled_chained,
+    sample_payloads,
+)
+from repro.common.mathutil import ci95_half_width, mean, sample_stdev
+from repro.common.stats import SimStats
+from repro.core.presets import make_config
+from repro.experiments.engine import (
+    EngineOptions,
+    ResultCache,
+    Sweep,
+    cell_key,
+    cell_payload,
+    simulate_payload,
+)
+from repro.experiments.report import sampling_table
+from repro.experiments.runner import Settings, run_sweep
+from repro.pipeline.cpu import Simulator
+from repro.traces.registry import resolve_workload
+
+SPEC = SamplingSpec(intervals=3, interval_uops=1_000, warmup_uops=300,
+                    period_uops=4_000, offset_uops=6_000)
+
+
+# ---------------------------------------------------------------------------
+# Spec
+
+
+def test_spec_geometry():
+    assert SPEC.interval_offset(0) == 6_000
+    assert SPEC.interval_offset(2) == 14_000
+    assert SPEC.detailed_uops == 3 * 1_300
+    assert SPEC.span_uops == 14_000 + 1_300
+
+
+def test_spec_validation_errors():
+    with pytest.raises(SamplingError):
+        SamplingSpec(intervals=0).validate()
+    with pytest.raises(SamplingError):
+        SamplingSpec(interval_uops=0).validate()
+    with pytest.raises(SamplingError):
+        # Overlapping intervals: period shorter than warmup + interval.
+        SamplingSpec(interval_uops=5_000, warmup_uops=2_000,
+                     period_uops=6_000).validate()
+    with pytest.raises(SamplingError):
+        SamplingSpec.from_dict({"intervals": 4, "intervalz": 1})
+    with pytest.raises(SamplingError):
+        SPEC.interval_offset(3)
+
+
+def test_spec_roundtrip_and_hash():
+    again = SamplingSpec.from_dict(SPEC.to_dict())
+    assert again == SPEC
+    assert again.content_hash() == SPEC.content_hash()
+    assert SamplingSpec().content_hash() != SPEC.content_hash()
+
+
+# ---------------------------------------------------------------------------
+# Statistics helpers
+
+
+def test_ci_math():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert mean(values) == 2.5
+    assert sample_stdev(values) == pytest.approx(
+        math.sqrt(sum((v - 2.5) ** 2 for v in values) / 3))
+    assert ci95_half_width(values) == pytest.approx(
+        1.96 * sample_stdev(values) / 2.0)
+    assert ci95_half_width([1.0]) == 0.0
+    assert sample_stdev([1.0]) == 0.0
+
+
+def test_sampled_result_aggregation():
+    a = SimStats(cycles=100, committed_uops=200, issued_total=250,
+                 unique_issued=240, replayed_miss=8, replayed_bank=2)
+    b = SimStats(cycles=100, committed_uops=100, issued_total=120,
+                 unique_issued=110, replayed_miss=6, replayed_bank=4)
+    result = SampledResult(workload="w", config_name="c", spec=SPEC,
+                           interval_stats=[a, b])
+    assert result.ipc_values == [2.0, 1.0]
+    assert result.mean_ipc == 1.5
+    total = result.total
+    assert total.cycles == 200 and total.committed_uops == 300
+    breakdown = result.breakdown()
+    assert breakdown["unique"] == pytest.approx(350 / 370)
+    assert breakdown["rpld_miss"] == pytest.approx(14 / 370)
+    assert breakdown["rpld_bank"] == pytest.approx(6 / 370)
+
+
+# ---------------------------------------------------------------------------
+# Cell compilation + cache keys
+
+
+def _base_payload():
+    return cell_payload("SpecSched_4", resolve_workload("gzip"),
+                        warmup_uops=300, measure_uops=1_000,
+                        functional_warmup_uops=5_000, seed=1)
+
+
+def test_sample_payloads_shape_and_keys():
+    cells = sample_payloads(_base_payload(), SPEC)
+    assert len(cells) == SPEC.intervals
+    keys = {cell_key(cell) for cell in cells}
+    assert len(keys) == SPEC.intervals          # every interval distinct
+    for index, cell in enumerate(cells):
+        assert cell["sampling"] == {"spec": SPEC.to_dict(), "index": index}
+        assert cell["functional_warmup_uops"] == 0
+        assert cell["warmup_uops"] == SPEC.warmup_uops
+        assert cell["measure_uops"] == SPEC.interval_uops
+    # The base cell (no sampling) keys differently from interval 0.
+    assert cell_key(_base_payload()) not in keys
+
+
+def test_checkpoint_cells_key_on_digest_not_path(tmp_path):
+    workload = resolve_workload("gzip")
+    sim = Simulator(make_config("SpecSched_4"), workload.build_trace(1))
+    sim.fast_forward(2_000)
+    info_a = save_checkpoint(sim, tmp_path / "a.ckpt", workload=workload,
+                             seed=1, provenance={"stream_uops": 2_000})
+    save_checkpoint(sim, tmp_path / "b.ckpt", workload=workload, seed=1,
+                    provenance={"stream_uops": 2_000})
+
+    base = _base_payload()
+    with_a = {**base, "checkpoint": checkpoint_reference(tmp_path / "a.ckpt")}
+    with_b = {**base, "checkpoint": checkpoint_reference(tmp_path / "b.ckpt")}
+    assert with_a["checkpoint"]["digest"] == info_a.digest
+    assert with_a["checkpoint"]["position"] == 2_000
+    # Same state at two paths: same key. No checkpoint: different key.
+    assert cell_key(with_a) == cell_key(with_b)
+    assert cell_key(with_a) != cell_key(base)
+
+
+# ---------------------------------------------------------------------------
+# Execution paths
+
+
+def test_interval_cell_simulation_is_deterministic():
+    cells = sample_payloads(_base_payload(), SPEC)
+    first = simulate_payload(cells[1])
+    again = simulate_payload(cells[1])
+    assert first == again
+    committed = SimStats.from_dict(first).committed_uops
+    assert committed >= SPEC.interval_uops
+
+
+def test_run_sampled_uses_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    options = EngineOptions(jobs=1, cache_dir=str(tmp_path / "cache"))
+    first = run_sampled("gzip", "SpecSched_4", SPEC, seed=1,
+                        options=options, cache=cache)
+    assert cache.misses == SPEC.intervals
+    rerun_cache = ResultCache(tmp_path / "cache")
+    again = run_sampled("gzip", "SpecSched_4", SPEC, seed=1,
+                        options=options, cache=rerun_cache)
+    assert rerun_cache.misses == 0
+    assert rerun_cache.disk_hits == SPEC.intervals
+    assert [s.to_dict() for s in first.interval_stats] \
+        == [s.to_dict() for s in again.interval_stats]
+    assert first.mean_ipc > 0
+    assert first.ipc_ci95 >= 0
+
+
+def test_run_sampled_from_checkpoint_matches_cold_cells(tmp_path):
+    """A functional checkpoint at the offset replaces the cold
+    fast-forward bit-identically (same stream, same warm state)."""
+    workload = resolve_workload("gzip")
+    config = make_config("SpecSched_4")
+    sim = Simulator(config, workload.build_trace(1))
+    consumed = sim.fast_forward(SPEC.offset_uops)
+    path = tmp_path / "off.ckpt"
+    save_checkpoint(sim, path, workload=workload, seed=1,
+                    provenance={"mode": "functional",
+                                "stream_uops": consumed})
+    cold = run_sampled("gzip", config, SPEC, seed=1,
+                       options=EngineOptions(jobs=1, cache_dir="off"))
+    warm = run_sampled("gzip", config, SPEC, seed=1,
+                       options=EngineOptions(jobs=1, cache_dir="off"),
+                       checkpoint=path)
+    assert [s.to_dict() for s in cold.interval_stats] \
+        == [s.to_dict() for s in warm.interval_stats]
+
+
+def test_chained_and_cells_agree_on_interval_count():
+    chained = run_sampled_chained("gzip", "SpecSched_4", SPEC, seed=1)
+    assert len(chained.interval_stats) == SPEC.intervals
+    # Chained inherits detailed-mode perturbations (by design), so only
+    # sanity-level agreement with the cell shape is asserted.
+    cells = run_sampled("gzip", "SpecSched_4", SPEC, seed=1,
+                        options=EngineOptions(jobs=1, cache_dir="off"))
+    assert chained.mean_ipc == pytest.approx(cells.mean_ipc, rel=0.15)
+
+
+def test_sampled_sweep_carries_confidence_intervals():
+    sweep = Sweep.from_dict({
+        "name": "sampled-smoke",
+        "baseline": "base",
+        "series": [{"label": "base", "preset": "Baseline_0"},
+                   {"label": "spec", "preset": "SpecSched_4"}],
+        "workloads": ["gzip"],
+        "sampling": SPEC.to_dict(),
+    })
+    result = run_sweep(sweep,
+                       settings=Settings(workloads=("gzip",)),
+                       options=EngineOptions(jobs=1, cache_dir="off"),
+                       cache=ResultCache(None))
+    assert set(result.ipc_ci) == {"base", "spec"}
+    mean_ipc, half = result.ipc_ci["spec"]["gzip"]
+    assert mean_ipc > 0 and half >= 0
+    # The grid entry is the counter-wise interval sum.
+    total = result.get("spec", "gzip")
+    assert total.committed_uops >= SPEC.intervals * SPEC.interval_uops
+    rendered = sampling_table(result)
+    assert "±" in rendered and "gzip" in rendered
+
+
+def test_sweep_rejects_bad_sampling_table():
+    with pytest.raises(SamplingError):
+        Sweep.from_dict({
+            "name": "bad", "baseline": "base",
+            "series": [{"label": "base", "preset": "Baseline_0"}],
+            "sampling": {"intervals": 0},
+        })
+
+
+def test_trace_too_short_for_interval_rejected(tmp_path):
+    from repro.traces.format import capture
+    from repro.traces.registry import TraceWorkload
+
+    source = resolve_workload("gzip")
+    path = tmp_path / "short.trc"
+    capture(source.build_trace(1), path, 8_000, wp_seed=1)
+    base = cell_payload("SpecSched_4", TraceWorkload(path),
+                        warmup_uops=300, measure_uops=1_000,
+                        functional_warmup_uops=0, seed=1)
+    cells = sample_payloads(base, SPEC)
+    # Interval 0 (ends at 7300) fits an 8000-µop trace; interval 2
+    # (ends at 15300) does not.
+    simulate_payload(cells[0])
+    with pytest.raises(ValueError, match="holds only"):
+        simulate_payload(cells[2])
