@@ -113,7 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(table2_p)
 
     fig_p = sub.add_parser("figure", help="regenerate an evaluation figure")
-    fig_p.add_argument("number", choices=sorted(_FIGURES))
+    fig_p.add_argument("number", choices=sorted(_FIGURES),
+                       help="paper figure number to regenerate")
     _add_engine_flags(fig_p)
 
     sweep_p = sub.add_parser(
@@ -141,15 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="store records raw instead of zlib frames")
 
     info_p = trace_sub.add_parser("info", help="describe a trace file")
-    info_p.add_argument("file")
+    info_p.add_argument("file", help="a .trc recording")
     info_p.add_argument("--verify", action="store_true",
                         help="re-scan the payload against the digest")
 
     replay_p = trace_sub.add_parser(
         "replay", help="simulate a recorded trace under one configuration")
-    replay_p.add_argument("file")
+    replay_p.add_argument("file", help="a .trc recording")
     replay_p.add_argument("config", help="e.g. SpecSched_4_Crit")
-    replay_p.add_argument("--dual-ported", action="store_true")
+    replay_p.add_argument("--dual-ported", action="store_true",
+                          help="ideal dual-ported L1D instead of banked")
     replay_p.add_argument("--measure", type=int, default=None,
                           help="measured µops (default: REPRO_MEASURE)")
 
@@ -180,12 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
                                   "mode run (default: REPRO_FUNC_WARMUP)")
     ckpt_create.add_argument("--seed", type=int, default=None,
                              help="trace seed (default: the workload's)")
-    ckpt_create.add_argument("--dual-ported", action="store_true")
+    ckpt_create.add_argument("--dual-ported", action="store_true",
+                             help="ideal dual-ported L1D instead of banked")
     ckpt_create.add_argument("--no-compress", action="store_true",
                              help="store the payload raw instead of zlib")
 
     ckpt_info = ckpt_sub.add_parser("info", help="describe a checkpoint")
-    ckpt_info.add_argument("file")
+    ckpt_info.add_argument("file", help="a .ckpt file")
     ckpt_info.add_argument("--verify", action="store_true",
                            help="decode the payload against the digest")
 
@@ -201,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="where BENCH_<name>.json files are written "
                               "(default: current directory)")
     bench_p.add_argument("--profile", action="store_true",
-                         help="attach per-phase cycle-loop timers and "
+                         help="attach per-stage cycle-loop timers and "
                               "include the breakdown in the result")
     bench_p.add_argument("--baseline", default=None, metavar="FILE",
                          help="perf gate: fail when a benchmark regresses "

@@ -323,7 +323,7 @@ def simulate_payload(payload: Dict[str, Any],
     Runs in worker processes under ``jobs > 1``; must stay a module-level
     function (picklable) and must touch no process-global mutable state.
     ``phase_profile`` (a :class:`repro.perf.instrument.PhaseProfile`)
-    attaches per-phase cycle-loop timers — benchmarks only; it is never
+    attaches per-stage cycle-loop timers — benchmarks only; it is never
     set on the worker-pool path.
 
     Beyond the plain (cold-start, fixed-volume) cell, two optional

@@ -15,29 +15,43 @@ from repro.common.config import SimConfig
 from repro.isa.trace import TraceSource
 from repro.isa.uop import MicroOp
 from repro.pipeline.cpu import Simulator
+from repro.pipeline.stages import Execute, Issue
+
+
+class TracingIssue(Issue):
+    """Issue stage that logs every issue attempt (the stage-override
+    instrumentation seam — see docs/ARCHITECTURE.md)."""
+
+    def _do_issue(self, uop: MicroOp, now: int, loads_before: int) -> None:
+        super()._do_issue(uop, now, loads_before)
+        self.sim.issue_log.setdefault(uop.seq, []).append(
+            [now, uop.exec_start, 0])
+
+
+class TracingExecute(Execute):
+    """Execute stage that marks squashed issue attempts in the log."""
+
+    def _handle_replay(self, now: int) -> None:
+        doomed_before = {
+            u.seq: u.issue_cycle for u in self.replay.squashable_uops(now)}
+        super()._handle_replay(now)
+        issue_log = self.sim.issue_log
+        for seq, issue_cycle in doomed_before.items():
+            for attempt in issue_log.get(seq, []):
+                if attempt[0] == issue_cycle:
+                    attempt[2] = 1
 
 
 class TracingSimulator(Simulator):
     """Simulator that keeps a per-µop event log."""
 
     def __init__(self, config: SimConfig, trace: TraceSource) -> None:
-        super().__init__(config, trace)
-        # seq -> list of (issue_cycle, exec_start, squashed?)
+        # seq -> list of (issue_cycle, exec_start, squashed?); created
+        # before wiring so the tracing stages may bind it if they wish.
         self.issue_log: Dict[int, List[List[int]]] = {}
-
-    def _do_issue(self, uop: MicroOp, now: int, loads_before: int) -> None:
-        super()._do_issue(uop, now, loads_before)
-        self.issue_log.setdefault(uop.seq, []).append(
-            [now, uop.exec_start, 0])
-
-    def _handle_replay(self, now: int) -> None:
-        doomed_before = {
-            u.seq: u.issue_cycle for u in self.replay.squashable_uops(now)}
-        super()._handle_replay(now)
-        for seq, issue_cycle in doomed_before.items():
-            for attempt in self.issue_log.get(seq, []):
-                if attempt[0] == issue_cycle:
-                    attempt[2] = 1
+        super().__init__(config, trace,
+                         stage_overrides={"issue": TracingIssue,
+                                          "execute": TracingExecute})
 
 
 def render_timeline(sim: TracingSimulator, seqs: Optional[List[int]] = None,

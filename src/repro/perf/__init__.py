@@ -3,12 +3,12 @@
 Three layers, bottom-up:
 
 * :mod:`repro.perf.instrument` — a :class:`PhaseProfile` that the
-  simulator fills with per-phase wall time (fetch / rename / issue /
-  execute / writeback / commit) and event counters (replay storms).
-  Attaching one swaps :meth:`Simulator.step` for an instrumented twin;
-  with none attached the hot loop is untouched.
+  simulator fills with per-stage wall time (one bucket per entry of the
+  pipeline tick order, ``docs/ARCHITECTURE.md``) and event counters
+  (replay storms). Attaching one swaps :meth:`Simulator.step` for an
+  instrumented twin; with none attached the hot loop is untouched.
 * :mod:`repro.perf.bench` — the benchmark definitions (headline /
-  table2 / trace), the :class:`BenchResult` JSON schema with provenance
+  table2 / trace / sampling), the :class:`BenchResult` JSON schema with provenance
   (git sha, python, host), and ``write_result`` producing the
   ``BENCH_<name>.json`` trajectory files.
 * :mod:`repro.perf.gate` — the regression check the CI perf gate runs:

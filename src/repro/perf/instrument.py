@@ -6,29 +6,22 @@ attached (:meth:`repro.pipeline.cpu.Simulator` swaps in an instrumented
 ``step`` at construction); the default hot loop has zero instrumentation
 overhead — not even a branch.
 
-Phases follow the back-to-front stage order of ``Simulator.step``:
-
-``commit``, ``writeback`` (the completion queue), ``execute`` (replay
-detection + the execute queue), ``wakeup`` (scoreboard events),
-``issue``, ``rename`` (rename/dispatch), ``fetch``, and ``bookkeep``
-(policy hooks, replay-window pruning).
+Phases are the machine's stages, timed in tick order: one bucket per
+entry of :data:`repro.pipeline.stages.TICK_ORDER` (``commit``,
+``writeback``, ``execute``, ``wakeup``, ``issue``, ``rename``,
+``fetch``, ``bookkeep``). Custom stages inserted through
+``extra_stages`` get their own buckets on first tick.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-#: Canonical phase order (also the reporting order).
-PHASES = (
-    "commit",
-    "writeback",
-    "execute",
-    "wakeup",
-    "issue",
-    "rename",
-    "fetch",
-    "bookkeep",
-)
+from repro.pipeline.stages import TICK_ORDER
+
+#: Canonical phase order (also the reporting order) — the stage tick
+#: order, so the breakdown always matches the wired machine.
+PHASES = TICK_ORDER
 
 
 class PhaseProfile:
@@ -52,7 +45,8 @@ class PhaseProfile:
     # -- accumulation (called from the instrumented step) ---------------
 
     def add(self, phase: str, seconds: float) -> None:
-        self.seconds[phase] += seconds
+        # .get(): custom stages (extra_stages) get a bucket on first use.
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
 
     def merge(self, other: "PhaseProfile") -> None:
         for phase, seconds in other.seconds.items():

@@ -1,0 +1,110 @@
+"""Machine-level checkpoint assembly: the component codec registration.
+
+The PR-4 state protocol gives every component a
+``state_dict``/``load_state_dict`` pair; this module owns the machine's
+registration table — which components are serialized, under which key,
+in which order, and whether they take the identity-preserving µop codec
+(:mod:`repro.checkpoint.state`). :class:`~repro.pipeline.cpu.Simulator`
+delegates its own ``state_dict``/``load_state_dict`` here.
+
+Invariants (normative list in ``docs/ARCHITECTURE.md``):
+
+* registration order is payload order — reordering the table changes
+  checkpoint bytes (and therefore digests in sampled-cell cache keys);
+* the µop table is encoded *last*, after every component has had the
+  chance to register in-flight µops;
+* inter-stage latches and wires are serialized by the driver alongside
+  the components; stage objects contribute a ``stages`` table only when
+  they own state (default stages own none, keeping the payload layout
+  identical to the pre-decomposition format — ``STATE_VERSION`` 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.checkpoint.state import UOP_SLOTS, UopCodec, UopDecoder
+
+#: (state-dict key, simulator attribute, component takes the µop codec).
+#: Append new components at the end; never reorder (see module docstring).
+COMPONENT_REGISTRY = (
+    ("stats", "stats", False),
+    ("trace", "trace", False),
+    ("fetch", "fetch", True),
+    ("branch_unit", "branch_unit", False),
+    ("renamer", "renamer", False),
+    ("scoreboard", "scoreboard", True),
+    ("rob", "rob", True),
+    ("iq", "iq", True),
+    ("lsq", "lsq", True),
+    ("fus", "fus", False),
+    ("recovery", "recovery", True),
+    ("replay", "replay", True),
+    ("store_sets", "store_sets", True),
+    ("policy", "policy", False),
+    ("hierarchy", "hierarchy", False),
+)
+
+
+def machine_state_dict(sim) -> Dict:
+    """Serialize ``sim``'s complete machine state as plain data."""
+    ctx = UopCodec()
+    state = {
+        "version": sim.STATE_VERSION,
+        "now": sim.now,
+        "issue_block_cycle": sim.issue_block.state_dict(),
+        "last_commit_cycle": sim.last_commit.state_dict(),
+        "l1_miss_this_cycle": sim.l1_miss.state_dict(),
+        "l1_access_this_cycle": sim.l1_access.state_dict(),
+        "exec_queue": sim.exec_latch.state_dict(ctx),
+        "completion_queue": sim.completion_latch.state_dict(ctx),
+    }
+    for key, attr, takes_ctx in COMPONENT_REGISTRY:
+        component = getattr(sim, attr)
+        state[key] = (component.state_dict(ctx) if takes_ctx
+                      else component.state_dict())
+    stage_states = {stage.name: blob for stage in sim.stages
+                    if (blob := stage.state_dict(ctx))}
+    if stage_states:
+        state["stages"] = stage_states
+    # Encode the µop table last: serializing components (and then the
+    # table itself, via store_dep chains) may register further µops.
+    state["uops"] = ctx.table()
+    state["uop_slots"] = list(UOP_SLOTS)
+    return state
+
+
+def load_machine_state_dict(sim, state: Dict) -> None:
+    """Restore a :func:`machine_state_dict` snapshot into ``sim``."""
+    if state.get("version") != sim.STATE_VERSION:
+        raise ValueError(
+            f"checkpoint state version {state.get('version')} "
+            f"(this build reads {sim.STATE_VERSION})")
+    # Validate before mutating anything: a half-restored simulator that
+    # survives a caught exception would silently produce wrong results.
+    stage_states = dict(state.get("stages", ()))
+    unknown = set(stage_states) - {stage.name for stage in sim.stages}
+    if unknown:
+        raise ValueError(
+            f"checkpoint carries state for unknown stage(s): "
+            f"{', '.join(sorted(unknown))}")
+    ctx = UopDecoder(state["uops"], state.get("uop_slots"))
+    sim.now = state["now"]
+    sim.issue_block.load_state_dict(state["issue_block_cycle"])
+    sim.last_commit.load_state_dict(state["last_commit_cycle"])
+    sim.l1_miss.load_state_dict(state["l1_miss_this_cycle"])
+    sim.l1_access.load_state_dict(state["l1_access_this_cycle"])
+    sim.exec_latch.load_state_dict(state["exec_queue"], ctx)
+    sim.completion_latch.load_state_dict(state["completion_queue"], ctx)
+    for key, attr, takes_ctx in COMPONENT_REGISTRY:
+        component = getattr(sim, attr)
+        if takes_ctx:
+            component.load_state_dict(state[key], ctx)
+        else:
+            component.load_state_dict(state[key])
+    # Every stage is restored, with {} standing in when the snapshot
+    # stored nothing for it (empty blobs are elided at save time to keep
+    # the default payload layout byte-identical): a stage's
+    # load_state_dict must treat {} as "reset to the empty state".
+    for stage in sim.stages:
+        stage.load_state_dict(stage_states.get(stage.name, {}), ctx)

@@ -1,54 +1,41 @@
-"""The cycle-level out-of-order core.
+"""The cycle-level out-of-order core: a declarative stage-list driver.
 
-One :class:`Simulator` instance models the machine of Table 1 executing one
-trace under one configuration. Stages run back-to-front each cycle so that
-same-cycle producer->consumer flows resolve naturally::
-
-    commit -> complete -> execute (replay detection first) -> wakeup
-           -> issue -> rename/dispatch -> fetch
-
-Timing contract (Section 4.1 / Figure 1, with D = issue-to-execute delay):
-
-* a µop issued at ``X`` starts executing at ``X + D + 1``;
-* a producer with (promised) latency ``L`` wakes consumers at ``X + L`` so
-  they execute back-to-back;
-* a speculatively woken load resolving with actual latency ``alat > L``
-  schedules a replay detection at ``C = X + D + load_to_use - 1`` (hit/miss
-  known one cycle before data); the controller squashes every unexecuted
-  µop issued in ``[C-D, C-1]`` and issue is blocked during ``C``;
-* a conservatively scheduled load wakes consumers at ``X + alat + D``
-  (dependents pay the issue-to-execute delay on top of load-to-use —
-  the Figure 3 effect).
-"""
+One :class:`Simulator` models the machine of Table 1 executing one trace
+under one configuration. The machine itself lives in
+:mod:`repro.pipeline.stages` — stage objects connected by the typed ports,
+wires and latches of :mod:`repro.pipeline.ports` — and the driver's
+:meth:`Simulator.step` is a tick over that stage list, nothing more. Tick
+order, wiring diagram and timing contract (Section 4.1 / Figure 1)
+are documented normatively in ``docs/ARCHITECTURE.md``."""
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.backend.fu import FuPool
-from repro.checkpoint.state import UOP_SLOTS, UopCodec, UopDecoder
 from repro.backend.iq import IssueQueue
 from repro.backend.lsq import LoadStoreQueue
 from repro.backend.prf import Scoreboard
 from repro.backend.recovery import RecoveryBuffer
-from repro.backend.replay import ReplayController, ReplayEvent
+from repro.backend.replay import ReplayController
 from repro.backend.rob import ReorderBuffer
 from repro.backend.storesets import StoreSets
 from repro.common.config import SimConfig
-from repro.common.stats import CAUSE_BANK_CONFLICT, CAUSE_L1_MISS, SimStats
+from repro.common.stats import SimStats
 from repro.core.composed import build_policy
 from repro.frontend.branch_unit import BranchUnit
 from repro.frontend.fetch import FetchStage
-from repro.isa.opclass import EXEC_LATENCY_BY_OP
 from repro.isa.trace import TraceSource
-from repro.isa.uop import MicroOp
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline import checkpointing
+from repro.pipeline.functional import functional_stream
+from repro.pipeline.ports import DelayQueue, Port, Wire
+from repro.pipeline.stages import build_stages
+from repro.pipeline.stages.base import SimulationError, Stage
 from repro.rename.rename import RegisterRenamer
 
-
-class SimulationError(RuntimeError):
-    """Raised when a model invariant is violated (bug trap, not recovery)."""
+__all__ = ["SimulationError", "Simulator"]
 
 
 class Simulator:
@@ -56,10 +43,14 @@ class Simulator:
 
     #: Cycles without a commit before we declare the model wedged.
     DEADLOCK_LIMIT = 100_000
+    #: Bumped when the simulator-level state layout changes.
+    STATE_VERSION = 1
 
     def __init__(self, config: SimConfig, trace: TraceSource,
-                 stats: Optional[SimStats] = None,
-                 phase_profile=None) -> None:
+                 stats: Optional[SimStats] = None, phase_profile=None,
+                 stage_overrides=None, extra_stages=()) -> None:
+        """Build the structures, then wire the stage list over them
+        (see :func:`repro.pipeline.stages.build_stages`)."""
         config.validate()
         self.config = config
         self.trace = trace
@@ -69,16 +60,18 @@ class Simulator:
         self.load_to_use = config.memory.l1d.latency
         self.now = 0
 
+        # Shared structures (serialized via checkpointing's registry).
         self.hierarchy = MemoryHierarchy(config.memory, self.stats)
         self.branch_unit = BranchUnit(config.branch)
         self.fetch = FetchStage(trace, self.branch_unit, core, self.stats)
         self.renamer = RegisterRenamer(core)
+        self.ready_port = Port("ready", payload="MicroOp")
         self.scoreboard = Scoreboard(core.int_prf + core.fp_prf,
-                                     on_ready=self._route_ready)
+                                     on_ready=self.ready_port.send)
         self.rob = ReorderBuffer(core.rob_entries)
         self.iq = IssueQueue(core.iq_entries)
         self.lsq = LoadStoreQueue(core.lq_entries, core.sq_entries,
-                                  on_ready=self._route_ready)
+                                  on_ready=self.ready_port.send)
         self.fus = FuPool(core)
         self.recovery = RecoveryBuffer()
         self.replay = ReplayController(self.delay)
@@ -86,26 +79,32 @@ class Simulator:
                                     core.store_set_lfst_entries)
         self.policy = build_policy(config.sched, self.load_to_use, self.stats)
 
-        # cycle -> [(uop, issue_id)]
-        self._exec_queue: Dict[int, List[Tuple[MicroOp, int]]] = {}
-        self._completion_queue: Dict[int, List[Tuple[MicroOp, int]]] = {}
-        self._l1_miss_this_cycle = False
-        self._l1_access_this_cycle = False
-        self._issue_block_cycle = -1
-        self._last_commit_cycle = 0
+        # Inter-stage latches and wires (see docs/ARCHITECTURE.md).
+        self.exec_latch = DelayQueue("issue->execute")
+        self.completion_latch = DelayQueue("execute->writeback")
+        self.issue_block = Wire("issue_block", -1)
+        self.last_commit = Wire("last_commit", 0)
+        self.l1_miss = Wire("l1_miss_this_cycle", False)
+        self.l1_access = Wire("l1_access_this_cycle", False)
 
-        # Optional per-phase instrumentation (repro.perf). Swapping the
+        self.stages = build_stages(self, overrides=stage_overrides, extra=extra_stages)
+
+        # Optional per-stage instrumentation (repro.perf). Swapping the
         # bound method keeps the uninstrumented hot loop branch-free.
         self.phase_profile = phase_profile
         if phase_profile is not None:
             self.step = self._step_profiled  # type: ignore[method-assign]
 
-    # ==================================================================
-    # driving
-    # ==================================================================
+    def stage(self, name: str) -> Stage:
+        """The stage object named ``name`` (KeyError when absent)."""
+        by_name = {stage.name: stage for stage in self.stages}
+        return by_name[name]
+
+    # -- driving ----------------------------------------------------------
 
     @property
     def done(self) -> bool:
+        """True when the trace is drained and the ROB is empty."""
         return self.fetch.done and self.rob.empty
 
     def run(self, max_uops: Optional[int] = None,
@@ -129,660 +128,72 @@ class Simulator:
         return self.stats.delta_since(baseline)
 
     def functional_warmup(self, trace: TraceSource, uops: int) -> None:
-        """Stream a trace through the caches and branch predictor without
-        timing — the paper's 50M-instruction warmup phase (Section 3.2),
-        affordable here because no pipeline state is simulated.
-
-        Call before :meth:`run` with a *separate* trace instance built from
-        the same seed; the timed run then replays the same stream over warm
-        structures.
-        """
-        self._functional_stream(trace, uops)
+        """Timing-free cache/predictor warmup from a *separate* trace
+        instance (Section 3.2) — see :mod:`repro.pipeline.functional`."""
+        functional_stream(self, trace, uops)
 
     def fast_forward(self, uops: int) -> int:
-        """Functionally consume ``uops`` from *this simulator's own*
-        trace: caches and branch predictors are warmed, the OoO backend
-        is bypassed entirely, and the trace cursor advances so a
-        subsequent :meth:`run` continues where fast-forward stopped.
-
-        This is the SMARTS-style functional warming mode the sampling
-        driver (:mod:`repro.checkpoint.sampling`) interleaves with
-        detailed measurement intervals; throughput is an order of
-        magnitude above detailed simulation because no pipeline state is
-        touched. Unlike :meth:`functional_warmup` (whose behaviour is
-        golden-locked), fast-forward also trains the scheduling policy's
-        per-PC hit/miss filter with each load's probe outcome — the
-        filter's saturate-and-silence dynamics span far more committed
-        loads than a measurement interval, so leaving it cold biases
-        every filter-gated configuration toward Always-Hit behaviour.
-        Returns the number of µops actually consumed (short when the
-        trace exhausts).
-        """
-        return self._functional_stream(self.trace, uops, train_policy=True)
-
-    def _functional_stream(self, trace: TraceSource, uops: int,
-                           train_policy: bool = False) -> int:
-        # The memory path is inlined against the cache internals (the
-        # exact fill/probe semantics of SetAssocCache, hit path only):
-        # this loop IS the sampling mode's throughput bound, and the
-        # method-call round trips per µop were a measurable share of it.
-        # State effects are identical to calling fill()/probe() — the
-        # golden-locked functional_warmup shares this body.
-        l1d, l2 = self.hierarchy.l1d, self.hierarchy.l2
-        l1d_fill, l2_fill, l2_probe = l1d.fill, l2.fill, l2.probe
-        l1_offset = l1d._offset_bits
-        l1_mask = l1d._index_mask
-        l1_set_bits = l1d._set_bits
-        l1_sets = l1d._sets
-        l2_offset = l2._offset_bits
-        l2_mask = l2._index_mask
-        l2_set_bits = l2._set_bits
-        l2_sets = l2._sets
-        train = self.hierarchy.prefetcher.train_and_prefetch
-        predict = self.branch_unit.predict
-        resolve = self.branch_unit.resolve
-        on_load_commit = self.policy.on_load_commit if train_policy else None
-        next_uop = trace.next_uop
-        line_bytes = self.config.memory.l2.line_bytes
-        for consumed in range(uops):
-            uop = next_uop()
-            if uop is None:
-                return consumed
-            if uop.is_mem:
-                addr = uop.mem_addr
-                l1_line = addr >> l1_offset
-                l1_set = l1_sets[l1_line & l1_mask]
-                l1_tag = l1_line >> l1_set_bits
-                if on_load_commit is not None and uop.is_load:
-                    # The probe outcome is what a detailed run would have
-                    # committed (modulo in-flight effects): train the
-                    # per-PC filter on it before the line is installed.
-                    uop.l1_hit = l1_tag in l1_set
-                    on_load_commit(uop)
-                if l1_tag in l1_set:          # fill() hit path: LRU touch
-                    l1d._stamp += 1
-                    l1_set[l1_tag] = l1d._stamp
-                else:
-                    l1d_fill(addr)
-                l2_line = addr >> l2_offset
-                l2_set = l2_sets[l2_line & l2_mask]
-                l2_tag = l2_line >> l2_set_bits
-                if l2_tag in l2_set:          # probe hit: fill() = touch
-                    l2._stamp += 1
-                    l2_set[l2_tag] = l2._stamp
-                else:
-                    for line in train(uop.pc, addr):
-                        l2_fill(line * line_bytes)
-                    l2_fill(addr)
-            elif uop.is_branch:
-                uop.pred_taken, uop.pred_target = predict(uop)
-                resolve(uop)
-        return uops
+        """Functionally consume ``uops`` from this simulator's *own* trace
+        (cursor advances; the policy's hit/miss filter trains); returns
+        the count consumed — see :mod:`repro.pipeline.functional`."""
+        return functional_stream(self, self.trace, uops, train_policy=True)
 
     def step(self) -> None:
+        """Advance the machine one cycle: tick every stage in order."""
         now = self.now
-        self._l1_miss_this_cycle = False
-        self._l1_access_this_cycle = False
+        self.l1_miss.value = self.l1_access.value = False
         self.fus.new_cycle()
-        self._commit(now)
-        self._complete(now)
-        self._execute(now)
-        self.scoreboard.tick(now)
-        self._issue(now)
-        self._rename_dispatch(now)
-        self.fetch.tick(now)
-        self.policy.on_cycle(self._l1_miss_this_cycle,
-                             self._l1_access_this_cycle)
-        self.replay.prune(now)
+        for stage in self.stages:
+            stage.tick(now)
         self.stats.cycles += 1
         self.now = now + 1
-        if now - self._last_commit_cycle > self.DEADLOCK_LIMIT:
-            raise SimulationError(
-                f"no commit for {self.DEADLOCK_LIMIT} cycles at cycle {now}; "
-                f"ROB={len(self.rob)}, IQ={len(self.iq)}, "
-                f"recovery={len(self.recovery)}")
+        if now - self.last_commit.value > self.DEADLOCK_LIMIT:
+            self._raise_deadlock(now)
 
     def _step_profiled(self) -> None:
-        """`step` twin with per-phase wall timers (repro.perf.instrument).
-
-        Installed over :meth:`step` at construction when a
-        ``phase_profile`` is supplied; keep the phase bodies in lockstep
-        with :meth:`step` when editing either.
-        """
+        """:meth:`step` twin with per-stage timers (repro.perf.instrument)."""
         profile = self.phase_profile
         stats = self.stats
         storms_before = stats.squash_events_miss + stats.squash_events_bank
         committed_before = stats.committed_uops
         now = self.now
-        self._l1_miss_this_cycle = False
-        self._l1_access_this_cycle = False
+        self.l1_miss.value = self.l1_access.value = False
         self.fus.new_cycle()
-        t0 = perf_counter()
-        self._commit(now)
-        t1 = perf_counter()
-        self._complete(now)
-        t2 = perf_counter()
-        self._execute(now)
-        t3 = perf_counter()
-        self.scoreboard.tick(now)
-        t4 = perf_counter()
-        self._issue(now)
-        t5 = perf_counter()
-        self._rename_dispatch(now)
-        t6 = perf_counter()
-        self.fetch.tick(now)
-        t7 = perf_counter()
-        self.policy.on_cycle(self._l1_miss_this_cycle,
-                             self._l1_access_this_cycle)
-        self.replay.prune(now)
-        t8 = perf_counter()
         seconds = profile.seconds
-        seconds["commit"] += t1 - t0
-        seconds["writeback"] += t2 - t1
-        seconds["execute"] += t3 - t2
-        seconds["wakeup"] += t4 - t3
-        seconds["issue"] += t5 - t4
-        seconds["rename"] += t6 - t5
-        seconds["fetch"] += t7 - t6
-        seconds["bookkeep"] += t8 - t7
+        for stage in self.stages:
+            start = perf_counter()
+            stage.tick(now)
+            seconds[stage.name] = seconds.get(stage.name, 0.0) + perf_counter() - start
         profile.cycles += 1
-        profile.replay_storms += (stats.squash_events_miss
-                                  + stats.squash_events_bank
+        profile.replay_storms += (stats.squash_events_miss + stats.squash_events_bank
                                   - storms_before)
         stats.cycles += 1
         self.now = now + 1
         profile.uops_committed += stats.committed_uops - committed_before
-        if now - self._last_commit_cycle > self.DEADLOCK_LIMIT:
-            raise SimulationError(
-                f"no commit for {self.DEADLOCK_LIMIT} cycles at cycle {now}; "
-                f"ROB={len(self.rob)}, IQ={len(self.iq)}, "
-                f"recovery={len(self.recovery)}")
+        if now - self.last_commit.value > self.DEADLOCK_LIMIT:
+            self._raise_deadlock(now)
 
-    # ==================================================================
-    # commit & complete
-    # ==================================================================
+    def _raise_deadlock(self, now: int) -> None:
+        raise SimulationError(
+            f"no commit for {self.DEADLOCK_LIMIT} cycles at cycle {now}; "
+            f"ROB={len(self.rob)}, IQ={len(self.iq)}, recovery={len(self.recovery)}")
 
-    def _commit(self, now: int) -> None:
-        rob = self.rob
-        head = rob.head()
-        if head is None or not head.completed:
-            return
-        stats = self.stats
-        policy = self.policy
-        renamer = self.renamer
-        retired = 0
-        width = self.config.core.retire_width
-        while retired < width:
-            if head is None or not head.completed:
-                break
-            if head.wrong_path:
-                raise SimulationError(
-                    f"wrong-path µop reached ROB head: {head!r}")
-            rob.retire_head()
-            renamer.commit(head)
-            if head.is_mem:
-                self.lsq.release(head)
-            head.commit_cycle = now
-            stats.committed_uops += 1
-            if head.is_load:
-                policy.on_load_commit(head)
-            policy.on_uop_commit(head)
-            retired += 1
-            head = rob.head()
-        if retired:
-            self._last_commit_cycle = now
-
-    def _complete(self, now: int) -> None:
-        entries = self._completion_queue.pop(now, None)
-        if not entries:
-            return
-        for uop, issue_id in entries:
-            if uop.dead or uop.num_issues != issue_id or not uop.executed:
-                continue
-            self.rob.note_completed(uop)
-
-    def _schedule_completion(self, uop: MicroOp, cycle: int, now: int) -> None:
-        if cycle <= now:
-            self.rob.note_completed(uop)
-        else:
-            queue = self._completion_queue
-            entry = queue.get(cycle)
-            if entry is None:
-                queue[cycle] = [(uop, uop.num_issues)]
-            else:
-                entry.append((uop, uop.num_issues))
-
-    # ==================================================================
-    # execute
-    # ==================================================================
-
-    def _execute(self, now: int) -> None:
-        if self.replay.has_event(now):
-            self._handle_replay(now)
-        entries = self._exec_queue.pop(now, None)
-        if not entries:
-            return
-        for uop, issue_id in entries:
-            if uop.dead or uop.squashed or uop.num_issues != issue_id:
-                continue
-            self._execute_uop(uop, now)
-
-    def _execute_uop(self, uop: MicroOp, now: int) -> None:
-        if not self.scoreboard.operands_data_valid(uop, now):
-            raise SimulationError(
-                f"µop executed with invalid operands at cycle {now}: {uop!r}")
-        uop.executed = True
-        if uop.is_load:
-            self._execute_load(uop, now)
-        elif uop.is_store:
-            self._execute_store(uop, now)
-        elif uop.is_branch:
-            self._execute_branch(uop, now)
-        else:
-            latency = EXEC_LATENCY_BY_OP[uop.opclass]
-            self._schedule_completion(uop, now + latency - 1, now)
-        if uop.is_mem:
-            self.iq.release(uop)
-        else:
-            self.recovery.remove(uop)
-
-    def _execute_load(self, uop: MicroOp, now: int) -> None:
-        forwarding_store = self.lsq.forwarding_store(uop)
-        if forwarding_store is not None:
-            uop.forwarded = True
-            uop.l1_hit = True
-            alat = self.load_to_use
-            self.stats.store_forwards += 1
-        else:
-            outcome = self.hierarchy.load(uop.mem_addr, uop.pc, now)
-            alat = outcome.latency
-            uop.l1_hit = outcome.hit
-            self._l1_access_this_cycle = True
-            if not outcome.hit:
-                self._l1_miss_this_cycle = True
-        uop.actual_latency = alat
-        issue = uop.issue_cycle
-        if uop.spec_woken:
-            if alat > uop.promised_latency:
-                cause = CAUSE_L1_MISS if not uop.l1_hit else CAUSE_BANK_CONFLICT
-                # The checker fires when the *promise* comes due (one cycle
-                # before the data was supposed to return). A shifted second
-                # load therefore detects one cycle later than its pair —
-                # which is why two same-cycle loads that both miss trigger
-                # two squash events under Schedule Shifting (Section 5.1,
-                # drawback 3).
-                detection = issue + self.delay + uop.promised_latency - 1
-                self.replay.schedule(
-                    ReplayEvent(uop, cause, alat), max(detection, now + 1))
-        elif uop.pdst >= 0:
-            # Conservative: dependents cannot issue before the hit/miss
-            # outcome is known (one cycle before data return, Section 1),
-            # which costs hits the whole issue-to-execute delay (Figure 3).
-            # Misses resolve with the refill timing already known, so their
-            # dependents issue at the corrected data-arrival point.
-            wake = max(issue + alat, issue + self.delay + self.load_to_use)
-            self.scoreboard.broadcast(
-                uop.pdst, wake, issue + self.delay + 1 + alat)
-        self._schedule_completion(uop, uop.exec_start + alat - 1, now)
-
-    def _execute_store(self, uop: MicroOp, now: int) -> None:
-        offender = self.lsq.detect_violation(uop)
-        self.hierarchy.store(uop.mem_addr, uop.pc, now)
-        self.store_sets.store_done(uop)
-        self.lsq.store_executed_wakeups(uop)
-        self._schedule_completion(uop, now, now)
-        if offender is not None and not uop.wrong_path \
-                and not offender.wrong_path:
-            self.stats.memory_order_violations += 1
-            self.store_sets.train_violation(uop.pc, offender.pc)
-            self._violation_squash(offender, now)
-
-    def _execute_branch(self, uop: MicroOp, now: int) -> None:
-        self._schedule_completion(uop, now, now)
-        if uop.wrong_path:
-            return      # wrong-path branches never redirect anything
-        self.stats.branches += 1
-        mispredicted = self.branch_unit.resolve(uop)
-        if mispredicted:
-            self.stats.branch_mispredicts += 1
-            self._branch_squash(uop, now)
-
-    # ==================================================================
-    # replay (the Alpha-style squash of Section 3.1)
-    # ==================================================================
-
-    def _handle_replay(self, now: int) -> None:
-        events = [ev for ev in self.replay.pop_events(now)
-                  if not ev.load.dead]
-        if not events:
-            return
-        cause = events[0].cause            # oldest trigger attributes the event
-        doomed = self.replay.squashable_uops(now)
-        for uop in doomed:
-            uop.squashed = True
-            uop.replay_pending = True
-            if uop.pdst >= 0:
-                self.scoreboard.unready(uop.pdst)
-        # Correct the triggering loads' destinations.
-        for event in events:
-            load = event.load
-            if load.pdst >= 0:
-                issue = load.issue_cycle
-                wake = max(issue + event.corrected_latency, now + 1)
-                self.scoreboard.broadcast(
-                    load.pdst, wake,
-                    issue + self.delay + 1 + event.corrected_latency)
-        self._rearm_waiting_uops()
-        if doomed or self.delay > 0:
-            # Handling the misspeculation blocks issue for a cycle even
-            # when every in-flight µop was already squashed by an earlier
-            # event this window — the checker still fires (this is how two
-            # same-cycle missing loads cost two replays under Schedule
-            # Shifting). With D=0 the window is definitionally empty and
-            # no handling happens: SpecSched_0 stays cycle-identical to
-            # Baseline_0.
-            self.stats.record_replayed(cause, len(doomed))
-            self._issue_block_cycle = now   # "an additional issue cycle is lost"
-
-    def _rearm_waiting_uops(self) -> None:
-        """Recompute readiness for every µop still waiting to (re-)issue.
-
-        After a squash, previously fired wakeups may be stale (their
-        producer got squashed or corrected); rebuilding the ready lists
-        from scoreboard truth is simple and safe — the populations are
-        bounded by the IQ and the in-flight window.
-        """
-        waiting: List[MicroOp] = [
-            u for u in self.iq.occupants()
-            if not u.executed and (u.num_issues == 0 or u.replay_pending)
-        ]
-        waiting.extend(u for u in self.recovery.members() if u.replay_pending)
-        self.iq.clear_ready()
-        self.recovery.clear_ready()
-        rewatch = self.scoreboard.rewatch
-        route_ready = self._route_ready
-        for uop in waiting:
-            pending = rewatch(uop)
-            store_dep = uop.store_dep
-            if store_dep is not None and not store_dep.executed:
-                pending = uop.pending = pending + 1
-                # still registered in the LSQ waiter list
-            if pending == 0:
-                route_ready(uop)
-
-    # ==================================================================
-    # issue
-    # ==================================================================
-
-    def _route_ready(self, uop: MicroOp) -> None:
-        """Scoreboard/LSQ callback: a µop became source-complete."""
-        if uop.dead or uop.executed:
-            return
-        if uop.num_issues > 0 and not uop.replay_pending:
-            return      # already in flight; nothing to wake
-        if uop.in_iq:
-            self.iq.make_ready(uop)
-        elif uop.replay_pending:
-            self.recovery.make_ready(uop)
-
-    def _issue(self, now: int) -> None:
-        if self._issue_block_cycle == now:
-            self.stats.issue_cycles_lost += 1
-            return
-        budget = self.config.core.issue_width
-        # Recovery buffer has priority over the scheduler; the IQ fills
-        # the holes in replayed issue groups (Section 3.1).
-        ready = self.recovery.take_ready()
-        if ready:
-            budget = self._issue_from(ready, budget, now)
-        if budget > 0:
-            ready = self.iq.take_ready()
-            if ready:
-                self._issue_from(ready, budget, now)
-
-    def _issue_from(self, candidates: List[MicroOp], budget: int,
-                    now: int) -> int:
-        for uop in list(candidates):
-            if budget == 0:
-                break
-            if uop.dead or uop.executed:
-                continue
-            if uop.num_issues > 0 and not uop.replay_pending:
-                continue
-            loads_before = self.fus.loads_issued_this_cycle()
-            if not self.fus.try_allocate(uop.opclass, now):
-                continue
-            self._do_issue(uop, now, loads_before)
-            budget -= 1
-        return budget
-
-    def _do_issue(self, uop: MicroOp, now: int, loads_before: int) -> None:
-        first_issue = uop.num_issues == 0
-        was_replay = uop.replay_pending
-        uop.issue_cycle = now
-        uop.num_issues += 1
-        uop.squashed = False
-        uop.replay_pending = False
-        exec_start = uop.exec_start = now + self.delay + 1
-        queue = self._exec_queue
-        entry = queue.get(exec_start)
-        if entry is None:
-            queue[exec_start] = [(uop, uop.num_issues)]
-        else:
-            entry.append((uop, uop.num_issues))
-        self.replay.note_issue(uop, now)
-
-        stats = self.stats
-        stats.issued_total += 1
-        if first_issue:
-            stats.unique_issued += 1
-        else:
-            self.recovery.replays_issued += 1
-        if uop.wrong_path:
-            stats.wrong_path_issued += 1
-
-        # Wakeup broadcast.
-        if uop.is_load:
-            decision = self.policy.decide(uop, loads_before)
-            uop.spec_woken = decision.speculate
-            uop.promised_latency = decision.promised_latency
-            if decision.speculate:
-                stats.speculative_loads += 1
-                if uop.pdst >= 0:
-                    self.scoreboard.broadcast(
-                        uop.pdst, now + decision.promised_latency,
-                        now + decision.promised_latency + self.delay + 1)
-            else:
-                stats.conservative_loads += 1
-                if uop.pdst >= 0:
-                    self.scoreboard.unready(uop.pdst)
-        else:
-            latency = EXEC_LATENCY_BY_OP[uop.opclass]
-            uop.spec_woken = True
-            uop.promised_latency = latency
-            if uop.pdst >= 0:
-                self.scoreboard.broadcast(
-                    uop.pdst, now + latency, now + latency + self.delay + 1)
-
-        # Structure management.
-        if uop.is_mem:
-            self.iq.remove_from_ready(uop)   # keeps its IQ entry
-        elif uop.in_iq:
-            self.iq.release(uop)             # first issue: move to recovery
-            self.recovery.insert(uop)
-        elif was_replay:
-            self.recovery.remove_from_ready(uop)
-
-    # ==================================================================
-    # rename & dispatch
-    # ==================================================================
-
-    def _rename_dispatch(self, now: int) -> None:
-        # Peek/pop keeps stalled µops in the frontend pipe instead of the
-        # old deliver-everything-then-undeliver round trip, which paid a
-        # deque drain + refill every stalled cycle.
-        fetch = self.fetch
-        rob, iq, lsq = self.rob, self.iq, self.lsq
-        renamer, scoreboard = self.renamer, self.scoreboard
-        for _ in range(self.config.core.rename_width):
-            uop = fetch.peek(now)
-            if uop is None:
-                return
-            if (rob.full or iq.full
-                    or not renamer.can_rename(uop)
-                    or (uop.is_load and lsq.lq_full())
-                    or (uop.is_store and lsq.sq_full())):
-                return
-            fetch.pop()
-            renamer.rename(uop)
-            if uop.pdst >= 0:
-                scoreboard.unready(uop.pdst)
-            rob.allocate(uop)
-            iq.insert(uop)
-            scoreboard.watch(uop)
-            if uop.is_mem:
-                lsq.insert(uop)
-                dep = self.store_sets.lookup_dependence(uop)
-                if dep is not None:
-                    lsq.add_store_dependence(uop, dep)
-            if uop.pending == 0:
-                iq.make_ready(uop)
-
-    # ==================================================================
-    # squashes (branch misprediction, memory-order violation)
-    # ==================================================================
-
-    def _branch_squash(self, branch: MicroOp, now: int) -> None:
-        doomed = self.rob.squash_younger(branch.seq)   # youngest first
-        self._kill_uops(doomed)
-        self.renamer.rollback(doomed)
-        self.fetch.redirect(now)
-
-    def _violation_squash(self, offender: MicroOp, now: int) -> None:
-        doomed = self.rob.squash_younger(offender.seq, inclusive=True)
-        self._kill_uops(doomed)
-        self.renamer.rollback(doomed)
-        refetch = [u.clone_arch() for u in reversed(doomed)
-                   if not u.wrong_path]
-        self.fetch.redirect(now)
-        self.fetch.inject_refetch(refetch)
-
-    def _kill_uops(self, doomed: List[MicroOp]) -> None:
-        if not doomed:
-            return
-        oldest = min(u.seq for u in doomed)
-        for uop in doomed:
-            uop.dead = True
-            self.scoreboard.drop_waiter(uop)
-            if uop.is_store:
-                self.store_sets.store_done(uop)
-        self.iq.squash_younger(oldest - 1)
-        self.recovery.squash_younger(oldest - 1)
-        self.lsq.squash_younger(oldest - 1)
-
-    # ==================================================================
-    # state protocol (repro.checkpoint)
-    # ==================================================================
-
-    #: Bumped when the simulator-level state layout changes.
-    STATE_VERSION = 1
+    # -- state protocol (repro.checkpoint) --------------------------------
 
     def state_dict(self) -> Dict:
-        """Complete machine state: every component through the uniform
-        protocol, with in-flight µops deduplicated into one identity-
-        preserving table (see :class:`repro.checkpoint.state.UopCodec`).
-
-        Restoring the result into a fresh simulator built from the same
-        configuration and workload reproduces the continued run's
-        ``SimStats`` bit-identically (the round-trip suite under
-        ``tests/checkpoint/`` holds this claim in place).
-        """
-        ctx = UopCodec()
-        state = {
-            "version": self.STATE_VERSION,
-            "now": self.now,
-            "issue_block_cycle": self._issue_block_cycle,
-            "last_commit_cycle": self._last_commit_cycle,
-            "l1_miss_this_cycle": self._l1_miss_this_cycle,
-            "l1_access_this_cycle": self._l1_access_this_cycle,
-            "exec_queue": [
-                (cycle, [(ctx.ref(uop), issue_id)
-                         for uop, issue_id in entries])
-                for cycle, entries in self._exec_queue.items()],
-            "completion_queue": [
-                (cycle, [(ctx.ref(uop), issue_id)
-                         for uop, issue_id in entries])
-                for cycle, entries in self._completion_queue.items()],
-            "stats": self.stats.state_dict(),
-            "trace": self.trace.state_dict(),
-            "fetch": self.fetch.state_dict(ctx),
-            "branch_unit": self.branch_unit.state_dict(),
-            "renamer": self.renamer.state_dict(),
-            "scoreboard": self.scoreboard.state_dict(ctx),
-            "rob": self.rob.state_dict(ctx),
-            "iq": self.iq.state_dict(ctx),
-            "lsq": self.lsq.state_dict(ctx),
-            "fus": self.fus.state_dict(),
-            "recovery": self.recovery.state_dict(ctx),
-            "replay": self.replay.state_dict(ctx),
-            "store_sets": self.store_sets.state_dict(ctx),
-            "policy": self.policy.state_dict(),
-            "hierarchy": self.hierarchy.state_dict(),
-        }
-        # Encode the µop table last: serializing components (and then the
-        # table itself, via store_dep chains) may register further µops.
-        state["uops"] = ctx.table()
-        state["uop_slots"] = list(UOP_SLOTS)
-        return state
+        """Complete machine state as plain data (every component through the
+        uniform protocol) — see :mod:`repro.pipeline.checkpointing`."""
+        return checkpointing.machine_state_dict(self)
 
     def load_state_dict(self, state: Dict) -> None:
-        """Restore a :meth:`state_dict` snapshot into this simulator.
+        """Restore a :meth:`state_dict` snapshot into this simulator
+        (same configuration, equivalent trace source required)."""
+        checkpointing.load_machine_state_dict(self, state)
 
-        The simulator must have been constructed from the same
-        configuration and an equivalent trace source (same workload and
-        seed) — the trace cursor, like every component, is overwritten.
-        """
-        if state.get("version") != self.STATE_VERSION:
-            raise ValueError(
-                f"checkpoint state version {state.get('version')} "
-                f"(this build reads {self.STATE_VERSION})")
-        ctx = UopDecoder(state["uops"], state.get("uop_slots"))
-        self.now = state["now"]
-        self._issue_block_cycle = state["issue_block_cycle"]
-        self._last_commit_cycle = state["last_commit_cycle"]
-        self._l1_miss_this_cycle = state["l1_miss_this_cycle"]
-        self._l1_access_this_cycle = state["l1_access_this_cycle"]
-        self._exec_queue = {
-            cycle: [(ctx.uop(ref), issue_id) for ref, issue_id in entries]
-            for cycle, entries in state["exec_queue"]}
-        self._completion_queue = {
-            cycle: [(ctx.uop(ref), issue_id) for ref, issue_id in entries]
-            for cycle, entries in state["completion_queue"]}
-        self.stats.load_state_dict(state["stats"])
-        self.trace.load_state_dict(state["trace"])
-        self.fetch.load_state_dict(state["fetch"], ctx)
-        self.branch_unit.load_state_dict(state["branch_unit"])
-        self.renamer.load_state_dict(state["renamer"])
-        self.scoreboard.load_state_dict(state["scoreboard"], ctx)
-        self.rob.load_state_dict(state["rob"], ctx)
-        self.iq.load_state_dict(state["iq"], ctx)
-        self.lsq.load_state_dict(state["lsq"], ctx)
-        self.fus.load_state_dict(state["fus"])
-        self.recovery.load_state_dict(state["recovery"], ctx)
-        self.replay.load_state_dict(state["replay"], ctx)
-        self.store_sets.load_state_dict(state["store_sets"], ctx)
-        self.policy.load_state_dict(state["policy"])
-        self.hierarchy.load_state_dict(state["hierarchy"])
-
-    # ==================================================================
-    # introspection helpers (tests, examples)
-    # ==================================================================
+    # -- introspection helpers (tests, examples) --------------------------
 
     def occupancy(self) -> Dict[str, int]:
-        return {
-            "rob": len(self.rob),
-            "iq": len(self.iq),
-            "recovery": len(self.recovery),
-            "lq": len(self.lsq.loads),
-            "sq": len(self.lsq.stores),
-        }
+        """Current ROB/IQ/recovery/LQ/SQ occupancies."""
+        return {"rob": len(self.rob), "iq": len(self.iq),
+                "recovery": len(self.recovery),
+                "lq": len(self.lsq.loads), "sq": len(self.lsq.stores)}

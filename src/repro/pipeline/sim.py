@@ -41,6 +41,7 @@ class RunResult:
 
     @property
     def ipc(self) -> float:
+        """Committed µops per cycle over the measured region."""
         return self.stats.ipc
 
 

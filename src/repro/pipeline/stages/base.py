@@ -1,0 +1,72 @@
+"""The stage protocol: what every pipeline stage object implements.
+
+A stage is one tick-ordered slice of the machine. The driver
+(:class:`repro.pipeline.cpu.Simulator`) holds a tuple of stages and, each
+cycle, calls ``tick(now)`` on every one in list order — there is no other
+control flow between stages. A stage's constructor receives the simulator
+being wired and binds direct references to the structures, ports, wires
+and latches it touches (binding once keeps the per-cycle path as cheap as
+the pre-decomposition method calls).
+
+Contract (normative statement in ``docs/ARCHITECTURE.md``):
+
+* ``name`` identifies the stage in the tick order, the per-stage
+  instrumentation breakdown (:mod:`repro.perf.instrument`) and the
+  checkpoint payload's ``stages`` table — names must be unique per
+  machine;
+* ``tick(now)`` advances the stage one cycle and communicates only
+  through ports, wires, latches and the shared structures it bound;
+* ``state_dict(ctx)`` / ``load_state_dict(state, ctx)`` implement the
+  component state protocol (:mod:`repro.checkpoint.state`) for state the
+  stage *owns* (most stages own none — shared structures and latches are
+  serialized by the driver); a checkpoint round-trip must restore the
+  stage bit-identically, and ``load_state_dict({})`` must reset the
+  stage to its empty state (snapshots elide empty blobs, so restore
+  hands ``{}`` to any stage the payload recorded nothing for);
+* ``after`` (class attribute) names the insertion anchor used when the
+  stage is added through ``extra_stages`` — see
+  :func:`repro.pipeline.stages.build_stages`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when a model invariant is violated (bug trap, not recovery)."""
+
+
+class Stage:
+    """Base class for pipeline stages (see the module docstring for the
+    full protocol contract)."""
+
+    #: Stage name: unique per machine, keys the instrumentation and
+    #: checkpoint tables.
+    name = "stage"
+
+    #: For ``extra_stages``: name of the stage to insert after
+    #: (``None`` appends at the end of the tick order).
+    after: Optional[str] = None
+
+    def __init__(self, sim) -> None:
+        """Bind the stage to the machine being wired.
+
+        Subclasses bind direct references to the structures they touch;
+        ``self.sim`` stays available for instrumentation subclasses.
+        """
+        self.sim = sim
+
+    def tick(self, now: int) -> None:
+        """Advance the stage one cycle."""
+        raise NotImplementedError
+
+    # -- state protocol (repro.checkpoint) -------------------------------
+
+    def state_dict(self, ctx) -> Dict:
+        """Stage-owned state as plain data (empty for stateless stages)."""
+        return {}
+
+    def load_state_dict(self, state: Dict, ctx) -> None:
+        """Restore a :meth:`state_dict` snapshot — ``{}`` means "reset
+        to the empty state" (no-op by default: stateless)."""

@@ -1,0 +1,62 @@
+"""Commit stage: in-order retirement from the ROB head.
+
+Inputs: the ROB (head entries marked ``completed`` by Writeback).
+Outputs: architectural effects — RAT commit in the renamer, LSQ entry
+release, policy commit hooks (hit/miss filter training, criticality) —
+plus the ``last_commit`` wire the driver's deadlock trap watches.
+Latency: retires up to ``retire_width`` µops in the cycle they are
+observed complete (commit runs first in the tick order, so a µop
+completing in cycle ``X`` retires no earlier than ``X + 1``).
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.stages.base import SimulationError, Stage
+
+
+class Commit(Stage):
+    """In-order retire of up to ``retire_width`` completed µops."""
+
+    name = "commit"
+
+    def __init__(self, sim) -> None:
+        """Bind the ROB, renamer, LSQ, policy and the commit wire."""
+        super().__init__(sim)
+        self.rob = sim.rob
+        self.renamer = sim.renamer
+        self.lsq = sim.lsq
+        self.policy = sim.policy
+        self.stats = sim.stats
+        self.width = sim.config.core.retire_width
+        self.last_commit = sim.last_commit
+
+    def tick(self, now: int) -> None:
+        """Retire completed ROB-head µops, oldest first."""
+        rob = self.rob
+        head = rob.head()
+        if head is None or not head.completed:
+            return
+        stats = self.stats
+        policy = self.policy
+        renamer = self.renamer
+        retired = 0
+        width = self.width
+        while retired < width:
+            if head is None or not head.completed:
+                break
+            if head.wrong_path:
+                raise SimulationError(
+                    f"wrong-path µop reached ROB head: {head!r}")
+            rob.retire_head()
+            renamer.commit(head)
+            if head.is_mem:
+                self.lsq.release(head)
+            head.commit_cycle = now
+            stats.committed_uops += 1
+            if head.is_load:
+                policy.on_load_commit(head)
+            policy.on_uop_commit(head)
+            retired += 1
+            head = rob.head()
+        if retired:
+            self.last_commit.value = now

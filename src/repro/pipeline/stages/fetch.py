@@ -1,0 +1,36 @@
+"""Fetch stage: adapt the frontend pipe to the stage protocol.
+
+Inputs: the trace source (the µop stream) and the branch unit's
+predictions/redirects.
+Outputs: predicted-path (and, after a mispredict, wrong-path) µops
+advanced through the frontend pipe toward the Rename stage's pull
+interface.
+Latency: the frontend pipe models the fetch-to-rename depth
+(``frontend_depth`` cycles); a redirect at cycle ``X`` delivers
+corrected-path µops ``frontend_depth`` cycles later.
+
+Decode is fused into this stage: the trace supplies µops (not raw
+instructions), so the frontend pipe *is* the fetch+decode latency
+model. The heavy lifting lives in
+:class:`repro.frontend.fetch.FetchStage`; this object is the thin
+stage-protocol adapter the driver ticks.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.stages.base import Stage
+
+
+class Fetch(Stage):
+    """Advance the frontend pipe one cycle."""
+
+    name = "fetch"
+
+    def __init__(self, sim) -> None:
+        """Bind the frontend pipe."""
+        super().__init__(sim)
+        self.frontend = sim.fetch
+
+    def tick(self, now: int) -> None:
+        """Fetch/decode one cycle of µops into the frontend pipe."""
+        self.frontend.tick(now)

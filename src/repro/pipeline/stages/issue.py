@@ -1,0 +1,158 @@
+"""Issue (select) stage: pick ready µops and launch them toward Execute.
+
+Inputs: the ready lists fed by the ``ready`` port (this stage owns the
+port's consumer side), the FU pool's per-cycle port budget, and the
+``issue_block`` wire (a replay handled this cycle blocks issue).
+Outputs: issued µops pushed into the issue→execute
+:class:`~repro.pipeline.ports.DelayQueue` stamped ``now + D + 1``, and
+speculative wakeup broadcasts into the scoreboard promising each
+producer's latency (the speculative-scheduling mechanism itself — the
+promise may be wrong for loads; Execute's checker handles that).
+Latency: selection and broadcast happen in the issue cycle; execution
+starts after the issue-to-execute delay ``D`` plus one.
+
+Select order is recovery buffer first (replayed µops have priority,
+Section 3.1), then the IQ, both oldest-first; the per-cycle budget is
+``issue_width`` across the two.
+
+The load wakeup decision is delegated to the configured scheduling
+policy (:func:`repro.core.composed.build_policy`): Always-Hit
+speculation, Schedule Shifting, hit/miss filtering, criticality gating,
+or the conservative baseline — swapping schedulers never edits this
+stage, let alone the driver loop.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.opclass import EXEC_LATENCY_BY_OP
+from repro.isa.uop import MicroOp
+from repro.pipeline.stages.base import Stage
+
+
+class Issue(Stage):
+    """Oldest-first select over recovery + IQ ready lists, then launch."""
+
+    name = "issue"
+
+    def __init__(self, sim) -> None:
+        """Bind select/launch structures and take the ready port."""
+        super().__init__(sim)
+        self.iq = sim.iq
+        self.recovery = sim.recovery
+        self.fus = sim.fus
+        self.scoreboard = sim.scoreboard
+        self.replay = sim.replay
+        self.policy = sim.policy
+        self.stats = sim.stats
+        self.width = sim.config.core.issue_width
+        self.delay = sim.delay
+        self._slots = sim.exec_latch.slots
+        self.issue_block = sim.issue_block
+        # This stage owns the consumer side of the ready port; the
+        # producers (scoreboard, LSQ) are short-circuited to the sink so
+        # steady-state wakeups pay no forwarding overhead.
+        route = sim.ready_port.connect(self.route_ready)
+        sim.scoreboard.on_ready = route
+        sim.lsq.on_ready = route
+
+    def route_ready(self, uop: MicroOp) -> None:
+        """Ready-port sink: a µop became source-complete."""
+        if uop.dead or uop.executed:
+            return
+        if uop.num_issues > 0 and not uop.replay_pending:
+            return      # already in flight; nothing to wake
+        if uop.in_iq:
+            self.iq.make_ready(uop)
+        elif uop.replay_pending:
+            self.recovery.make_ready(uop)
+
+    def tick(self, now: int) -> None:
+        """Select and launch up to ``issue_width`` ready µops."""
+        if self.issue_block.value == now:
+            self.stats.issue_cycles_lost += 1
+            return
+        budget = self.width
+        # Recovery buffer has priority over the scheduler; the IQ fills
+        # the holes in replayed issue groups (Section 3.1).
+        ready = self.recovery.take_ready()
+        if ready:
+            budget = self._issue_from(ready, budget, now)
+        if budget > 0:
+            ready = self.iq.take_ready()
+            if ready:
+                self._issue_from(ready, budget, now)
+
+    def _issue_from(self, candidates: List[MicroOp], budget: int,
+                    now: int) -> int:
+        for uop in list(candidates):
+            if budget == 0:
+                break
+            if uop.dead or uop.executed:
+                continue
+            if uop.num_issues > 0 and not uop.replay_pending:
+                continue
+            loads_before = self.fus.loads_issued_this_cycle()
+            if not self.fus.try_allocate(uop.opclass, now):
+                continue
+            self._do_issue(uop, now, loads_before)
+            budget -= 1
+        return budget
+
+    def _do_issue(self, uop: MicroOp, now: int, loads_before: int) -> None:
+        first_issue = uop.num_issues == 0
+        was_replay = uop.replay_pending
+        uop.issue_cycle = now
+        uop.num_issues += 1
+        uop.squashed = False
+        uop.replay_pending = False
+        exec_start = uop.exec_start = now + self.delay + 1
+        queue = self._slots
+        entry = queue.get(exec_start)
+        if entry is None:
+            queue[exec_start] = [(uop, uop.num_issues)]
+        else:
+            entry.append((uop, uop.num_issues))
+        self.replay.note_issue(uop, now)
+
+        stats = self.stats
+        stats.issued_total += 1
+        if first_issue:
+            stats.unique_issued += 1
+        else:
+            self.recovery.replays_issued += 1
+        if uop.wrong_path:
+            stats.wrong_path_issued += 1
+
+        # Wakeup broadcast.
+        if uop.is_load:
+            decision = self.policy.decide(uop, loads_before)
+            uop.spec_woken = decision.speculate
+            uop.promised_latency = decision.promised_latency
+            if decision.speculate:
+                stats.speculative_loads += 1
+                if uop.pdst >= 0:
+                    self.scoreboard.broadcast(
+                        uop.pdst, now + decision.promised_latency,
+                        now + decision.promised_latency + self.delay + 1)
+            else:
+                stats.conservative_loads += 1
+                if uop.pdst >= 0:
+                    self.scoreboard.unready(uop.pdst)
+        else:
+            latency = EXEC_LATENCY_BY_OP[uop.opclass]
+            uop.spec_woken = True
+            uop.promised_latency = latency
+            if uop.pdst >= 0:
+                self.scoreboard.broadcast(
+                    uop.pdst, now + latency, now + latency + self.delay + 1)
+
+        # Structure management.
+        if uop.is_mem:
+            self.iq.remove_from_ready(uop)   # keeps its IQ entry
+        elif uop.in_iq:
+            self.iq.release(uop)             # first issue: move to recovery
+            self.recovery.insert(uop)
+        elif was_replay:
+            self.recovery.remove_from_ready(uop)

@@ -1,0 +1,69 @@
+"""Rename/Dispatch stage: pull decoded µops into the out-of-order window.
+
+Inputs: the frontend pipe's delivery buffer (pull interface —
+``peek``/``pop`` keeps stalled µops in the frontend instead of a
+deliver/undeliver round trip).
+Outputs: renamed µops allocated into ROB + IQ (+ LSQ for memory µops),
+registered with the scoreboard's waiter lists, store-set dependences
+installed, and immediately-ready µops placed on the IQ ready list.
+Latency: up to ``rename_width`` µops per cycle; the stage stalls (in
+order) the moment any allocation would overflow.
+
+Rename and Dispatch are deliberately one fused stage object: allocation
+must be atomic across RAT/free-list, ROB, IQ and LSQ — a µop renamed
+but not dispatched would need an undo path through four structures.
+``docs/ARCHITECTURE.md`` records this fusion (and Decode's, inside the
+frontend pipe) in the stage map.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.stages.base import Stage
+
+
+class Rename(Stage):
+    """Fused rename + dispatch: in-order allocation into the OoO window."""
+
+    name = "rename"
+
+    def __init__(self, sim) -> None:
+        """Bind the frontend pipe and every allocation structure."""
+        super().__init__(sim)
+        self.frontend = sim.fetch
+        self.rob = sim.rob
+        self.iq = sim.iq
+        self.lsq = sim.lsq
+        self.renamer = sim.renamer
+        self.scoreboard = sim.scoreboard
+        self.store_sets = sim.store_sets
+        self.width = sim.config.core.rename_width
+
+    def tick(self, now: int) -> None:
+        """Rename and dispatch up to ``rename_width`` µops, stalling in
+        order on the first structural hazard."""
+        fetch = self.frontend
+        rob, iq, lsq = self.rob, self.iq, self.lsq
+        renamer, scoreboard = self.renamer, self.scoreboard
+        for _ in range(self.width):
+            uop = fetch.peek(now)
+            if uop is None:
+                return
+            if (rob.full or iq.full
+                    or not renamer.can_rename(uop)
+                    or (uop.is_load and lsq.lq_full())
+                    or (uop.is_store and lsq.sq_full())):
+                return
+            fetch.pop()
+            renamer.rename(uop)
+            if uop.pdst >= 0:
+                scoreboard.unready(uop.pdst)
+            rob.allocate(uop)
+            iq.insert(uop)
+            scoreboard.watch(uop)
+            if uop.is_mem:
+                lsq.insert(uop)
+                dep = self.store_sets.lookup_dependence(uop)
+                if dep is not None:
+                    lsq.add_store_dependence(uop, dep)
+            if uop.pending == 0:
+                iq.make_ready(uop)

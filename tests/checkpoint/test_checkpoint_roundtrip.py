@@ -151,3 +151,44 @@ def test_restore_after_further_split_points():
         restored.load_state_dict(sim.state_dict())
         restored.run(max_uops=TOTAL_UOPS)
         assert restored.stats.to_dict() == reference, f"split at {split}"
+
+
+def test_roundtrip_constructed_via_stage_api():
+    """A machine wired through the stage API (override + extra stage)
+    round-trips exactly like the default wiring — the decomposition
+    seam does not perturb the state protocol (the stateful-extra-stage
+    case lives in tests/pipeline/test_stages.py)."""
+    from repro.pipeline.stages import Issue, Stage
+
+    class LoggingIssue(Issue):
+        """Behaviour-preserving override (the scheduler-swap seam)."""
+
+        def _do_issue(self, uop, now, loads_before):
+            super()._do_issue(uop, now, loads_before)
+
+    class NullProbe(Stage):
+        """Stateless observer appended at the end of the tick order."""
+
+        name = "null_probe"
+
+        def tick(self, now):
+            pass
+
+    workload = resolve_workload("gzip")
+    config = make_config("SpecSched_4_Crit")
+    reference = _reference_stats(workload, config)
+
+    def build():
+        return Simulator(config, workload.build_trace(1),
+                         stage_overrides={"issue": LoggingIssue},
+                         extra_stages=[NullProbe])
+
+    sim = build()
+    sim.functional_warmup(workload.build_trace(1), FUNCTIONAL_WARMUP)
+    sim.run(max_uops=SPLIT_UOPS)
+    state = pickle.loads(pickle.dumps(sim.state_dict(), protocol=4))
+
+    restored = build()
+    restored.load_state_dict(state)
+    restored.run(max_uops=TOTAL_UOPS)
+    assert restored.stats.to_dict() == reference

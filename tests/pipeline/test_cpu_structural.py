@@ -71,7 +71,7 @@ def test_deadlock_guard_raises():
     sim = Simulator(cfg, ListTrace(independent_alus(4)))
     sim.DEADLOCK_LIMIT = 100
     # Wedge the machine artificially: block commit forever.
-    sim._commit = lambda now: None
+    sim.stage("commit").tick = lambda now: None
     with pytest.raises(SimulationError):
         sim.run(max_cycles=10_000)
 

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Markdown link/anchor checker for the `docs` CI job (stdlib only).
+
+Checks every markdown file passed (files or directories, recursed) for:
+
+* relative links to files that do not exist;
+* intra- and cross-document anchors (``#fragment``) that match no
+  heading in the target document (GitHub-style slugs, including the
+  ``-1`` suffixes for duplicate headings) and no explicit
+  ``<a name=...>`` / ``id=...`` anchor;
+* external links are **not** fetched (CI must not depend on the
+  network) — only syntax-checked.
+
+Exit status: 0 clean, 1 with one ``file:line: message`` per problem.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: [text](target) — excluding images' leading "!" is unnecessary: image
+#: targets must exist too.
+LINK_RE = re.compile(r"\[[^\]\[]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXPLICIT_ANCHOR_RE = re.compile(
+    r"""<a\s+(?:name|id)\s*=\s*["']([^"']+)["']""", re.IGNORECASE)
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close-enough approximation:
+    strip markdown emphasis/code markers and punctuation, lowercase,
+    spaces to hyphens)."""
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)   # linked headings
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def document_anchors(path: Path) -> set:
+    """Every anchor a markdown document exposes (heading slugs with
+    duplicate ``-N`` suffixes, plus explicit HTML anchors)."""
+    anchors = set()
+    seen: Dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slug = github_slug(match.group(2))
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            anchors.add(slug if count == 0 else f"{slug}-{count}")
+        for explicit in EXPLICIT_ANCHOR_RE.findall(line):
+            anchors.add(explicit)
+    return anchors
+
+
+def iter_links(path: Path) -> List[Tuple[int, str]]:
+    """(line number, target) for every markdown link outside code fences."""
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: Path, anchor_cache: Dict[Path, set]) -> List[str]:
+    """Problems for one markdown file, as ``file:line: message`` lines."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            dest = (path.parent / file_part).resolve()
+            if not dest.exists():
+                problems.append(
+                    f"{path}:{lineno}: broken link target {file_part!r}")
+                continue
+        else:
+            dest = path.resolve()
+        if fragment:
+            if dest.suffix.lower() not in (".md", ".markdown"):
+                continue            # fragments into non-markdown: skip
+            if dest not in anchor_cache:
+                anchor_cache[dest] = document_anchors(dest)
+            if fragment not in anchor_cache[dest]:
+                problems.append(
+                    f"{path}:{lineno}: no anchor {fragment!r} in "
+                    f"{dest.name}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """Check every markdown file under the given files/directories."""
+    roots = [Path(arg) for arg in argv] or [Path(".")]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        else:
+            files.append(root)
+    anchor_cache: Dict[Path, set] = {}
+    problems = []
+    for path in files:
+        problems.extend(check_file(path, anchor_cache))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not problems else f'{len(problems)} problem(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Examples smoke runner for the `docs` CI job.
+
+Executes every ``examples/*.py`` script in a subprocess (repository
+root as cwd, ``src`` on ``PYTHONPATH``) and fails if any exits
+non-zero — the executable-documentation guarantee: an example that no
+longer runs against the current APIs is a doc bug this job catches.
+
+Environment: honours the caller's ``REPRO_*`` variables (CI points
+``REPRO_CACHE_DIR`` at a job-local tmpdir). Pass example names (without
+directory) to run a subset::
+
+    python tools/run_examples.py             # all
+    python tools/run_examples.py quickstart.py sampling.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: Per-example wall-clock ceiling (seconds): generous, but a hang must
+#: fail the job rather than stall it.
+TIMEOUT = 1200
+
+
+def run_example(path: Path) -> int:
+    """Run one example; returns its exit status (124 on timeout)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(path)], cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            timeout=TIMEOUT)
+        status = proc.returncode
+        tail = proc.stdout.decode(errors="replace").splitlines()[-15:]
+    except subprocess.TimeoutExpired:
+        status, tail = 124, [f"(timed out after {TIMEOUT}s)"]
+    elapsed = time.perf_counter() - start
+    verdict = "ok" if status == 0 else f"FAIL ({status})"
+    print(f"{path.name:28s} {verdict:10s} {elapsed:7.1f}s", flush=True)
+    if status != 0:
+        for line in tail:
+            print(f"    {line}")
+    return status
+
+
+def main(argv: List[str]) -> int:
+    """Run the requested examples (all of ``examples/*.py`` by default)."""
+    if argv:
+        paths = [EXAMPLES_DIR / name for name in argv]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(f"no such example(s): "
+                  f"{', '.join(p.name for p in missing)}", file=sys.stderr)
+            return 2
+    else:
+        paths = sorted(EXAMPLES_DIR.glob("*.py"))
+    failures = sum(1 for path in paths if run_example(path) != 0)
+    print(f"{len(paths) - failures}/{len(paths)} examples passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
