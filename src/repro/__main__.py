@@ -1,7 +1,15 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream closed the pipe (e.g. `repro report ... | head`):
+    # normal shell usage, not an error. Swallow the late flush too.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    sys.exit(0)

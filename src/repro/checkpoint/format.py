@@ -247,14 +247,19 @@ class Checkpoint:
     def config(self) -> SimConfig:
         return SimConfig.from_dict(self.payload["config"]).validate()
 
-    def restore(self, trace=None, phase_profile=None):
+    def restore(self, trace=None, phase_profile=None,
+                event_bus=None, extra_stages=()):
         """Build a fresh :class:`~repro.pipeline.cpu.Simulator` and load
         this checkpoint's state into it.
 
         ``trace`` overrides the recorded workload (required when the
         checkpoint was saved without one); it must be an equivalent
         source — same workload, same seed — since its cursor state is
-        overwritten from the checkpoint.
+        overwritten from the checkpoint. ``event_bus`` / ``extra_stages``
+        pass through to the Simulator constructor, so a restored run can
+        be instrumented exactly like a cold one (telemetry stages own no
+        checkpoint state — the saved payload restores cleanly into the
+        instrumented machine).
         """
         from repro.pipeline.cpu import Simulator
         from repro.traces.registry import workload_from_payload
@@ -267,7 +272,8 @@ class Checkpoint:
                     f"pass an explicit trace to restore()")
             workload = workload_from_payload(workload_data)
             trace = workload.build_trace(self.payload.get("seed"))
-        sim = Simulator(self.config, trace, phase_profile=phase_profile)
+        sim = Simulator(self.config, trace, phase_profile=phase_profile,
+                        event_bus=event_bus, extra_stages=extra_stages)
         sim.load_state_dict(self.payload["sim"])
         return sim
 

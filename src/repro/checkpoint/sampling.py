@@ -177,7 +177,7 @@ class SampledResult:
         out = SimStats()
         for stats in self.interval_stats:
             for name, value in stats.__dict__.items():
-                if name == "extra":
+                if name in ("extra", "telemetry"):   # non-counter tables
                     continue
                 setattr(out, name, getattr(out, name) + value)
             for key, value in stats.extra.items():

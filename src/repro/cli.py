@@ -19,8 +19,16 @@ Commands:
   freeze a mid-run simulator's complete state to a versioned ``.ckpt``
   file, inspect one (``--verify`` re-checks the content digest);
 * ``bench [NAME ...]`` — measure simulator throughput (headline /
-  table2 / trace / sampling), write ``BENCH_<name>.json`` trajectory
-  files and, with ``--baseline``, enforce the perf regression gate;
+  table2 / trace / sampling / telemetry), write ``BENCH_<name>.json``
+  trajectory files and, with ``--baseline``, enforce the perf
+  regression gate;
+* ``events record WORKLOAD CONFIG`` / ``events info FILE`` / ``events
+  dump FILE`` / ``events export FILE`` — record a per-µop pipeline
+  event trace (JSONL, optionally gzip'd), inspect it, print raw events,
+  or export it to the gem5/Konata O3PipeView format (see
+  ``docs/OBSERVABILITY.md``);
+* ``report manifests`` — roll up the engine's per-cell run manifests
+  (wall time, cache hit rate, peak RSS) from the cache directory;
 * ``list`` — available workloads (suite, scenarios, traces) and presets.
 
 Workload arguments resolve through the workload registry
@@ -106,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="chained: one pass, fastest (default); "
                             "cells: per-interval engine cells, pooled "
                             "(--jobs) and persistently cached")
+    run_p.add_argument("--metrics", action="store_true",
+                       help="attach the telemetry probes (occupancy "
+                            "histograms, replay/filter aggregates) and "
+                            "print the metrics report after the run")
     _add_engine_flags(run_p)
 
     sub.add_parser("table1", help="render the machine configuration")
@@ -121,6 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="execute a declarative sweep file (TOML or JSON)")
     sweep_p.add_argument("file", help="sweep description, e.g. "
                                       "examples/sweeps/shifting.toml")
+    sweep_p.add_argument("--progress", action="store_true",
+                         help="print one line per simulated cell as "
+                              "results land (completion order)")
     _add_engine_flags(sweep_p)
 
     trace_p = sub.add_parser(
@@ -217,6 +232,64 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the combined results as a "
                               "baseline file (e.g. benchmarks/baseline.json)")
 
+    events_p = sub.add_parser(
+        "events", help="record, inspect and export per-µop pipeline "
+                       "event traces")
+    events_sub = events_p.add_subparsers(dest="events_command",
+                                         required=True)
+
+    ev_record = events_sub.add_parser(
+        "record", help="simulate with event recording on and write a "
+                       "JSONL event trace")
+    ev_record.add_argument("workload", help="registry name or file")
+    ev_record.add_argument("config", help="e.g. SpecSched_4_Crit")
+    ev_record.add_argument("-o", "--output", default=None, metavar="FILE",
+                           help="output path; a .gz suffix gzip-"
+                                "compresses (default "
+                                "<workload>-<config>.events.jsonl.gz)")
+    ev_record.add_argument("--uops", type=int, default=20_000, metavar="N",
+                           help="µops to simulate with recording on "
+                                "(default 20000)")
+    ev_record.add_argument("--seed", type=int, default=None,
+                           help="trace seed (default: the workload's)")
+    ev_record.add_argument("--dual-ported", action="store_true",
+                           help="ideal dual-ported L1D instead of banked")
+    ev_record.add_argument("--o3pipeview", nargs="?", const="",
+                           default=None, metavar="FILE",
+                           help="also export the trace to an O3PipeView "
+                                "text file (Konata / gem5 viewers); "
+                                "FILE defaults to "
+                                "<output>.o3pipeview.txt")
+
+    ev_info = events_sub.add_parser("info", help="describe an event trace")
+    ev_info.add_argument("file", help="a .events.jsonl[.gz] trace")
+
+    ev_dump = events_sub.add_parser(
+        "dump", help="print events as one line of text each")
+    ev_dump.add_argument("file", help="a .events.jsonl[.gz] trace")
+    ev_dump.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="stop after N events (default: all)")
+    ev_dump.add_argument("--kind", default=None, metavar="KIND",
+                         help="only events of this kind (e.g. replay)")
+
+    ev_export = events_sub.add_parser(
+        "export", help="convert an event trace to the O3PipeView format")
+    ev_export.add_argument("file", help="a .events.jsonl[.gz] trace")
+    ev_export.add_argument("-o", "--output", default=None, metavar="FILE",
+                           help="output path (default: trace name with "
+                                ".o3pipeview.txt)")
+
+    report_p = sub.add_parser(
+        "report", help="roll up engine run telemetry")
+    report_sub = report_p.add_subparsers(dest="report_command",
+                                         required=True)
+    report_manifests = report_sub.add_parser(
+        "manifests", help="summarize the per-cell run manifests next to "
+                          "the result cache")
+    report_manifests.add_argument("--json", action="store_true",
+                                  help="print the rollup as JSON")
+    _add_engine_flags(report_manifests)
+
     sub.add_parser("list", help="available workloads and presets")
     return parser
 
@@ -303,6 +376,10 @@ def _print_sampled(result) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.metrics and args.sample:
+        return _fail(ValueError(
+            "--metrics instruments one detailed run; combine it with a "
+            "plain (non --sample) invocation"))
     if not args.sample:
         given = [flag for flag, arg_name in
                  (("--intervals", "intervals"),
@@ -340,14 +417,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return _fail(exc)
         _print_sampled(result)
         return 0
+    collector = None
+    if args.metrics:
+        from repro.telemetry import MetricsCollector
+
+        collector = MetricsCollector()
     try:
         result = run_workload(args.workload, args.config,
                               banked=not args.dual_ported,
                               measure_uops=args.measure,
-                              checkpoint=args.from_checkpoint)
+                              checkpoint=args.from_checkpoint,
+                              collector=collector)
     except (KeyError, OSError, ValueError) as exc:
         return _fail(exc)
     _print_run(result)
+    if collector is not None:
+        from repro.telemetry import render_metrics
+
+        print()
+        print(render_metrics(result.stats.telemetry))
     return 0
 
 
@@ -505,6 +593,128 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_events_record(args: argparse.Namespace) -> int:
+    from repro.core.presets import make_config
+    from repro.pipeline.cpu import Simulator
+    from repro.telemetry import EventBus, JsonlEventWriter
+
+    try:
+        workload = default_registry().resolve(args.workload)
+        config = make_config(args.config, banked=not args.dual_ported)
+    except (KeyError, OSError, ValueError) as exc:
+        return _fail(exc)
+    seed = args.seed
+    if seed is None:
+        seed = int(getattr(workload, "seed", 0) or 0)
+    output = args.output or f"{workload.name}-{args.config}.events.jsonl.gz"
+    provenance = {"workload": workload.name, "config": config.name,
+                  "seed": seed, "uops": args.uops}
+    try:
+        with JsonlEventWriter(output, provenance=provenance) as writer:
+            sim = Simulator(config, workload.build_trace(seed),
+                            event_bus=EventBus(writer))
+            stats = sim.run(max_uops=args.uops)
+    except (OSError, ValueError) as exc:
+        return _fail(exc)
+    print(f"recorded {writer.count} events over {stats.cycles} cycles "
+          f"({stats.committed_uops} committed µops) -> {output}")
+    if args.o3pipeview is not None:
+        from repro.telemetry import export_o3pipeview
+
+        viewer_out = args.o3pipeview or _o3pipeview_default(output)
+        _, count = export_o3pipeview(output, viewer_out)
+        print(f"exported {count} µop records -> {viewer_out}")
+    return 0
+
+
+def _cmd_events_info(args: argparse.Namespace) -> int:
+    from repro.telemetry import count_events
+    from repro.telemetry.events import EventsFormatError
+
+    try:
+        header, counts = count_events(args.file)
+    except (OSError, EventsFormatError) as exc:
+        return _fail(exc)
+    print(f"{args.file}:")
+    print(f"  format     {header['format']} v{header['version']}")
+    print(f"  fields     {', '.join(header['fields'])}")
+    for key in sorted(header.get("provenance", {})):
+        print(f"  {key:10s} {header['provenance'][key]}")
+    total = sum(counts.values())
+    print(f"  events     {total}")
+    for kind in sorted(counts):
+        print(f"    {kind:14s} {counts[kind]}")
+    return 0
+
+
+def _cmd_events_dump(args: argparse.Namespace) -> int:
+    from repro.telemetry import open_events
+    from repro.telemetry.events import EventsFormatError
+
+    try:
+        _, events = open_events(args.file)
+        printed = 0
+        for cycle, kind, seq, pc, a, b in events:
+            if args.kind is not None and kind != args.kind:
+                continue
+            print(f"{cycle:>10} {kind:<12} seq={seq} pc=0x{pc:x} "
+                  f"a={a} b={b}")
+            printed += 1
+            if args.limit is not None and printed >= args.limit:
+                break
+    except (OSError, EventsFormatError) as exc:
+        return _fail(exc)
+    return 0
+
+
+def _o3pipeview_default(events_path) -> str:
+    """``<trace-stem>.o3pipeview.txt`` next to the event trace."""
+    name = Path(events_path).name
+    for suffix in (".events.jsonl.gz", ".events.jsonl", ".jsonl.gz",
+                   ".jsonl"):
+        if name.endswith(suffix):
+            name = name[:-len(suffix)]
+            break
+    return str(Path(events_path).with_name(f"{name}.o3pipeview.txt"))
+
+
+def _cmd_events_export(args: argparse.Namespace) -> int:
+    from repro.telemetry import export_o3pipeview
+    from repro.telemetry.events import EventsFormatError
+
+    output = args.output or _o3pipeview_default(args.file)
+    try:
+        _, count = export_o3pipeview(args.file, output)
+    except (OSError, EventsFormatError) as exc:
+        return _fail(exc)
+    print(f"exported {count} µop records -> {output}")
+    return 0
+
+
+def _cmd_report_manifests(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.telemetry import manifests_dir, read_manifests, \
+        render_rollup, rollup
+
+    directory = manifests_dir(_engine_options(args).cache_path())
+    if directory is None:
+        return _fail(ValueError(
+            "the persistent result cache is disabled (REPRO_CACHE_DIR=off) "
+            "— no manifests to report"))
+    manifests = read_manifests(directory)
+    if not manifests:
+        print(f"no manifests under {directory} (run a sweep first)")
+        return 0
+    summary = rollup(manifests)
+    if args.json:
+        print(json_module.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(f"manifests under {directory}:")
+        print(render_rollup(summary))
+    return 0
+
+
 def _cmd_figure(number: str, options: EngineOptions) -> int:
     sweep_name, summaries = _FIGURES[number]
     sweep = figures.FIGURE_SWEEPS[sweep_name]()
@@ -518,9 +728,16 @@ def _cmd_figure(number: str, options: EngineOptions) -> int:
     return 0
 
 
-def _cmd_sweep(path: str, options: EngineOptions) -> int:
+def _cmd_sweep(path: str, options: EngineOptions,
+               show_progress: bool = False) -> int:
     sweep = Sweep.from_file(path)
-    result = run_sweep(sweep, options=options)
+    progress = None
+    if show_progress:
+        def progress(done: int, total: int, manifest: dict) -> None:
+            print(f"[{done}/{total}] {manifest['config']} x "
+                  f"{manifest['workload']}  "
+                  f"{manifest['wall_seconds']:.2f}s", file=sys.stderr)
+    result = run_sweep(sweep, options=options, progress=progress)
     print(performance_table(result))
     if result.ipc_ci:
         print()
@@ -643,7 +860,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "figure":
         return _cmd_figure(args.number, _engine_options(args))
     if args.command == "sweep":
-        return _cmd_sweep(args.file, _engine_options(args))
+        return _cmd_sweep(args.file, _engine_options(args),
+                          show_progress=args.progress)
     if args.command == "trace":
         if args.trace_command == "record":
             return _cmd_trace_record(args)
@@ -658,6 +876,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_checkpoint_info(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "events":
+        if args.events_command == "record":
+            return _cmd_events_record(args)
+        if args.events_command == "info":
+            return _cmd_events_info(args)
+        if args.events_command == "dump":
+            return _cmd_events_dump(args)
+        if args.events_command == "export":
+            return _cmd_events_export(args)
+    if args.command == "report":
+        if args.report_command == "manifests":
+            return _cmd_report_manifests(args)
     if args.command == "list":
         return _cmd_list()
     return 1

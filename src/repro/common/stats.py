@@ -68,6 +68,14 @@ class SimStats:
 
     extra: Dict[str, int] = field(default_factory=dict)
 
+    #: Observability side-table (histograms, accuracy rates) filled by
+    #: :class:`repro.telemetry.probes.MetricsCollector` — never by the
+    #: machine itself. Not a counter: excluded from arithmetic, and
+    #: omitted from :meth:`to_dict` while empty so uninstrumented runs
+    #: serialize byte-identically to pre-telemetry builds (golden files,
+    #: cache entries).
+    telemetry: Dict = field(default_factory=dict)
+
     # ------------------------------------------------------------------
 
     @property
@@ -109,7 +117,7 @@ class SimStats:
         """Plain-dict view (counters + derived rates) for reporting."""
         out: Dict[str, float] = {}
         for name, value in self.__dict__.items():
-            if name == "extra":
+            if name in ("extra", "telemetry"):
                 continue
             out[name] = value
         out.update(self.extra)
@@ -126,22 +134,26 @@ class SimStats:
         """
         diff = SimStats()
         for name, value in self.__dict__.items():
-            if name == "extra":
+            if name in ("extra", "telemetry"):
                 continue
             setattr(diff, name, value - getattr(earlier, name))
         diff.extra = {
             key: value - earlier.extra.get(key, 0)
             for key, value in self.extra.items()
         }
+        # The telemetry table is not counter arithmetic; the measured
+        # region inherits the run's table as-is.
+        diff.telemetry = dict(self.telemetry)
         return diff
 
     def copy(self) -> "SimStats":
         dup = SimStats()
         for name, value in self.__dict__.items():
-            if name == "extra":
+            if name in ("extra", "telemetry"):
                 continue
             setattr(dup, name, value)
         dup.extra = dict(self.extra)
+        dup.telemetry = dict(self.telemetry)
         return dup
 
     # -- serialization (persistent result cache, golden files) -----------
@@ -150,8 +162,10 @@ class SimStats:
         """Lossless counter dump (unlike :meth:`snapshot`, no derived
         rates mixed in); inverse of :meth:`from_dict`."""
         out = {name: value for name, value in self.__dict__.items()
-               if name != "extra"}
+               if name not in ("extra", "telemetry")}
         out["extra"] = dict(self.extra)
+        if self.telemetry:
+            out["telemetry"] = dict(self.telemetry)
         return out
 
     def state_dict(self) -> Dict[str, int]:
@@ -163,7 +177,8 @@ class SimStats:
         to this object, so load must not replace it."""
         fresh = SimStats.from_dict(data)
         for name, value in fresh.__dict__.items():
-            setattr(self, name, dict(value) if name == "extra" else value)
+            setattr(self, name,
+                    dict(value) if name in ("extra", "telemetry") else value)
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimStats":
@@ -172,6 +187,8 @@ class SimStats:
         for name, value in data.items():
             if name == "extra":
                 stats.extra = dict(value)
+            elif name == "telemetry":
+                stats.telemetry = dict(value)
             elif name in counters:
                 setattr(stats, name, value)
             else:

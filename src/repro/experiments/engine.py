@@ -88,6 +88,15 @@ _NON_SEMANTIC_SOURCES = frozenset({
     "experiments/report.py",
     "experiments/tables.py",
     "experiments/timeline.py",
+    # Telemetry is observation-only: instrumented runs never populate
+    # the cache (simulate_payload with a collector bypasses it), and the
+    # emitting stage subclasses are inert unless explicitly installed.
+    "telemetry/__init__.py",
+    "telemetry/events.py",
+    "telemetry/export.py",
+    "telemetry/manifest.py",
+    "telemetry/probes.py",
+    "telemetry/stages.py",
 })
 
 
@@ -317,14 +326,19 @@ def cell_seed(payload: Dict[str, Any]) -> int:
 
 
 def simulate_payload(payload: Dict[str, Any],
-                     phase_profile=None) -> Dict[str, Any]:
+                     phase_profile=None, collector=None) -> Dict[str, Any]:
     """Worker entry point: simulate one cell, return its counter dict.
 
     Runs in worker processes under ``jobs > 1``; must stay a module-level
     function (picklable) and must touch no process-global mutable state.
     ``phase_profile`` (a :class:`repro.perf.instrument.PhaseProfile`)
     attaches per-stage cycle-loop timers — benchmarks only; it is never
-    set on the worker-pool path.
+    set on the worker-pool path. ``collector`` (a
+    :class:`repro.telemetry.probes.MetricsCollector`) instruments the
+    run with the metric probes and folds the distilled table into the
+    returned dict's ``telemetry`` key — interactive ``--metrics`` runs
+    only; instrumented results are never written to the result cache
+    (callers that cache never pass a collector).
 
     Beyond the plain (cold-start, fixed-volume) cell, two optional
     payload fields change the shape:
@@ -341,6 +355,8 @@ def simulate_payload(payload: Dict[str, Any],
 
     config = SimConfig.from_dict(payload["config"]).validate()
     workload = workload_from_payload(payload["workload"])
+    event_bus = collector.bus if collector is not None else None
+    extra_stages = tuple(collector.probes) if collector is not None else ()
     sampling = payload.get("sampling")
     required_trace_uops(payload["workload"],
                         warmup_uops=payload["warmup_uops"],
@@ -372,11 +388,13 @@ def simulate_payload(payload: Dict[str, Any],
                 f"different workload; restoring its trace cursor into "
                 f"this cell's stream would silently corrupt the run")
         sim = loaded.restore(trace=workload.build_trace(seed),
-                             phase_profile=phase_profile)
+                             phase_profile=phase_profile,
+                             event_bus=event_bus, extra_stages=extra_stages)
         position = int(checkpoint.get("position", 0))
     else:
         sim = Simulator(config, workload.build_trace(seed),
-                        phase_profile=phase_profile)
+                        phase_profile=phase_profile,
+                        event_bus=event_bus, extra_stages=extra_stages)
 
     if sampling is not None:
         from repro.checkpoint.sampling import SamplingError, SamplingSpec
@@ -393,7 +411,10 @@ def simulate_payload(payload: Dict[str, Any],
         sim.run(max_uops=base + spec.warmup_uops)
         baseline = sim.stats.copy()
         sim.run(max_uops=base + spec.warmup_uops + spec.interval_uops)
-        return sim.stats.delta_since(baseline).to_dict()
+        measured = sim.stats.delta_since(baseline)
+        if collector is not None:
+            collector.finalize(sim, measured)
+        return measured.to_dict()
 
     if checkpoint is not None:
         # Continue the restored run: warmup/measure volumes are relative
@@ -405,7 +426,10 @@ def simulate_payload(payload: Dict[str, Any],
         sim.run(max_uops=(base + payload["warmup_uops"]
                           + payload["measure_uops"]),
                 max_cycles=payload.get("max_cycles"))
-        return sim.stats.delta_since(baseline).to_dict()
+        measured = sim.stats.delta_since(baseline)
+        if collector is not None:
+            collector.finalize(sim, measured)
+        return measured.to_dict()
 
     if payload["functional_warmup_uops"]:
         sim.functional_warmup(workload.build_trace(seed),
@@ -413,6 +437,8 @@ def simulate_payload(payload: Dict[str, Any],
     stats = sim.run_with_warmup(payload["warmup_uops"],
                                 payload["measure_uops"],
                                 max_cycles=payload.get("max_cycles"))
+    if collector is not None:
+        collector.finalize(sim, stats)
     return stats.to_dict()
 
 
@@ -447,41 +473,112 @@ def required_trace_uops(workload_data: Dict[str, Any], *,
             f"re-record with more µops (`repro trace record --uops N`)")
 
 
+def simulate_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker wrapper around :func:`simulate_payload` with run telemetry.
+
+    Returns ``{"stats": ..., "wall_seconds": ..., "peak_rss_kb": ...}``.
+    Peak RSS is the worker *process* high-water mark — exact under a
+    fresh pool worker, an upper bound inline — which is what the
+    manifest's runaway-cell alarm wants.
+    """
+    from time import perf_counter
+
+    from repro.telemetry.manifest import peak_rss_kb
+
+    start = perf_counter()
+    stats = simulate_payload(payload)
+    return {"stats": stats,
+            "wall_seconds": perf_counter() - start,
+            "peak_rss_kb": peak_rss_kb()}
+
+
 def run_cells(payloads: Sequence[Dict[str, Any]],
               options: Optional[EngineOptions] = None,
-              cache: Optional[ResultCache] = None) -> List[SimStats]:
+              cache: Optional[ResultCache] = None,
+              progress=None) -> List[SimStats]:
     """Execute a batch of cells, returning stats in payload order.
 
     Cache hits (memory, then disk) are never re-simulated; misses run
     inline when ``options.jobs == 1`` and across a process pool
     otherwise. Duplicate payloads in one batch simulate once.
+
+    ``progress`` (``callable(done, total, manifest)``) is invoked once
+    per *simulated* cell as results land (completion order, not payload
+    order); ``manifest`` is the cell's run-manifest record. Whenever the
+    persistent cache is enabled, every executed batch also writes those
+    records under ``<cache_dir>/manifests/`` — one JSON per cell, named
+    by the cell key, overwritten on re-execution — for ``repro report
+    manifests`` (see :mod:`repro.telemetry.manifest`).
     """
+    from concurrent.futures import as_completed
+
+    from repro.telemetry.manifest import (
+        build_manifest, manifests_dir, peak_rss_kb, write_manifest)
+
     options = options or EngineOptions.from_env()
     cache = cache if cache is not None else ResultCache(options.cache_path())
+    manifest_path = manifests_dir(cache.directory)
     results: List[Optional[SimStats]] = [None] * len(payloads)
     pending: Dict[str, List[int]] = {}
+    hits: List[str] = []
     for index, payload in enumerate(payloads):
         key = cell_key(payload)
         hit = cache.get(key)
         if hit is not None:
+            if results[index] is None:
+                hits.append(key)
             results[index] = hit
         else:
             pending.setdefault(key, []).append(index)
 
+    def note(key: str, first_index: int, cell: Dict[str, Any],
+             done: int, total: int) -> Dict[str, Any]:
+        manifest = build_manifest(
+            payloads[first_index], key, cached=False,
+            wall_seconds=cell["wall_seconds"],
+            peak_rss_kb=cell["peak_rss_kb"], jobs=options.jobs)
+        if manifest_path is not None:
+            write_manifest(manifest_path, manifest)
+        if progress is not None:
+            progress(done, total, manifest)
+        return manifest
+
     if pending:
         todo = [(key, indices[0]) for key, indices in pending.items()]
+        total = len(todo)
+        cells: Dict[str, Dict[str, Any]] = {}
         if options.jobs > 1 and len(todo) > 1:
             workers = min(options.jobs, len(todo))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                stat_dicts = list(pool.map(
-                    simulate_payload, [payloads[i] for _, i in todo]))
+                futures = {pool.submit(simulate_cell, payloads[i]): (k, i)
+                           for k, i in todo}
+                done = 0
+                for future in as_completed(futures):
+                    key, first_index = futures[future]
+                    cell = future.result()
+                    cells[key] = cell
+                    done += 1
+                    note(key, first_index, cell, done, total)
         else:
-            stat_dicts = [simulate_payload(payloads[i]) for _, i in todo]
-        for (key, first_index), stat_dict in zip(todo, stat_dicts):
-            stats = SimStats.from_dict(stat_dict)
+            for done, (key, first_index) in enumerate(todo, start=1):
+                cell = simulate_cell(payloads[first_index])
+                cells[key] = cell
+                note(key, first_index, cell, done, total)
+        for key, first_index in todo:
+            stats = SimStats.from_dict(cells[key]["stats"])
             cache.put(key, stats, payloads[first_index])
             for index in pending[key]:
                 results[index] = stats.copy()
+
+    if manifest_path is not None and hits:
+        # Cache hits get a manifest too (wall time 0) so a fully-warm
+        # sweep still reports its cell census and hit rate.
+        by_key = {cell_key(p): i for i, p in enumerate(payloads)}
+        rss = peak_rss_kb()
+        for key in hits:
+            write_manifest(manifest_path, build_manifest(
+                payloads[by_key[key]], key, cached=True, wall_seconds=0.0,
+                peak_rss_kb=rss, jobs=options.jobs))
 
     assert all(r is not None for r in results)
     return results     # type: ignore[return-value]

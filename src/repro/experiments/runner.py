@@ -226,13 +226,15 @@ def run_experiment(name: str, requests: Sequence[ConfigRequest],
                    settings: Optional[Settings] = None,
                    options: Optional[EngineOptions] = None,
                    cache: Optional[ResultCache] = None,
-                   sampling=None) -> ExperimentResult:
+                   sampling=None, progress=None) -> ExperimentResult:
     """Run the grid and return the populated :class:`ExperimentResult`.
 
     Cells already present in ``cache`` (or the process-wide memo / the
     persistent on-disk layer when ``cache`` is omitted) are not
     re-simulated; the rest run serially or across ``options.jobs``
-    worker processes.
+    worker processes. ``progress`` (``callable(done, total, manifest)``)
+    fires per simulated cell as results land — see
+    :func:`repro.experiments.engine.run_cells`.
 
     With ``sampling`` (a :class:`~repro.checkpoint.sampling.
     SamplingSpec`) every grid cell expands into per-interval cells; the
@@ -253,7 +255,8 @@ def run_experiment(name: str, requests: Sequence[ConfigRequest],
     if sampling is not None:
         payloads = [cell for base in payloads
                     for cell in sample_payloads(base, sampling)]
-    stats_list = run_cells(payloads, options=options, cache=cache)
+    stats_list = run_cells(payloads, options=options, cache=cache,
+                           progress=progress)
     result = ExperimentResult(name, baseline_label, settings.workloads)
     cursor = iter(stats_list)
     for request in requests:
@@ -274,16 +277,18 @@ def run_experiment(name: str, requests: Sequence[ConfigRequest],
 def run_sweep(sweep: Sweep,
               settings: Optional[Settings] = None,
               options: Optional[EngineOptions] = None,
-              cache: Optional[ResultCache] = None) -> ExperimentResult:
+              cache: Optional[ResultCache] = None,
+              progress=None) -> ExperimentResult:
     """Execute a declarative :class:`Sweep` and return its result grid.
 
     ``settings`` provides the environment-level defaults; the sweep's own
     overrides (workloads, µop volumes, seed) win over them. A sweep with
-    a ``[sampling]`` table runs every cell in sampled mode.
+    a ``[sampling]`` table runs every cell in sampled mode. ``progress``
+    fires per simulated cell (see :func:`run_experiment`).
     """
     sweep.validate()
     base = settings or Settings.from_env()
     effective = base.with_sweep_overrides(sweep)
     return run_experiment(sweep.name, list(sweep.series), sweep.baseline,
                           settings=effective, options=options, cache=cache,
-                          sampling=sweep.sampling_spec())
+                          sampling=sweep.sampling_spec(), progress=progress)

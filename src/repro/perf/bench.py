@@ -2,7 +2,7 @@
 
 A *benchmark* here measures simulator **throughput** (µops simulated per
 wall second), not simulated performance — the IPC the cells produce is
-already covered by the figure suite and the golden tests. Three
+already covered by the figure suite and the golden tests. The
 benchmarks track the hot paths that matter:
 
 * ``headline`` — the paper's Figure-8 grid (Baseline_0 + SpecSched_4 +
@@ -10,7 +10,11 @@ benchmarks track the hot paths that matter:
 * ``table2``  — Baseline_0 across the workload set (the pure in-order
   frontend / OoO backend loop without replay machinery);
 * ``trace``   — binary-trace capture and replay-decode throughput of the
-  :mod:`repro.traces.format` reader feeding the front end.
+  :mod:`repro.traces.format` reader feeding the front end;
+* ``sampling`` — SMARTS-sampled vs full-detailed wall clock (+ the
+  sampled IPC's relative error) on the headline grid;
+* ``telemetry`` — the cost of observation: events-off throughput (the
+  seams must be free) and the events-on overhead ratio.
 
 Every run produces a :class:`BenchResult` with provenance (git sha,
 python version, host) and a *calibration* figure — a fixed pure-Python
@@ -68,6 +72,12 @@ SAMPLING_PRESETS: Tuple[str, ...] = (
 SAMPLING_PRESETS_QUICK: Tuple[str, ...] = (
     "Baseline_0", "SpecSched_4_Combined")
 SAMPLING_WORKLOADS_QUICK: Tuple[str, ...] = ("gzip", "mcf")
+
+#: The ``telemetry`` benchmark's configuration: a replaying preset, so
+#: the instrumented stages' replay/squash/filter emission points are all
+#: actually exercised.
+TELEMETRY_PRESET = "SpecSched_4_Combined"
+TELEMETRY_WORKLOADS_QUICK: Tuple[str, ...] = ("gzip", "mcf")
 
 
 # ---------------------------------------------------------------------------
@@ -406,6 +416,74 @@ def bench_sampling(quick: bool,
     return _finish("sampling", metrics, settings, quick, profile)
 
 
+def bench_telemetry(quick: bool,
+                    profile: Optional[PhaseProfile] = None) -> BenchResult:
+    """Telemetry cost: the same cells with event recording off and on.
+
+    The events-off pass runs the plain stage classes — the telemetry
+    seams must cost nothing, so its ``events_off_uops_per_sec`` is gated
+    like any other throughput. The events-on pass wires the full metrics
+    kit (aggregator sink on the event bus + occupancy probe) through
+    :class:`~repro.telemetry.probes.MetricsCollector`; its cost relative
+    to the off pass is ``overhead_ratio``, gated against an absolute 2x
+    ceiling — a same-machine wall ratio, deliberately *not* calibrated.
+    """
+    from repro.telemetry import EventBus, MetricsCollector
+
+    settings = _settings(quick)
+    workloads = TELEMETRY_WORKLOADS_QUICK if quick else QUICK_WORKLOADS
+    resolved = {name: resolve_workload(name) for name in workloads}
+    payloads = [cell_payload(
+        TELEMETRY_PRESET, resolved[name],
+        warmup_uops=settings.warmup_uops,
+        measure_uops=settings.measure_uops,
+        functional_warmup_uops=settings.functional_warmup_uops,
+        seed=settings.seed) for name in workloads]
+    # Same GC discipline as bench_trace: the instrumented pass allocates
+    # per-event, so a collection landing inside either timed region
+    # would swing the ratio — the gated metric — by itself.
+    import gc
+
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        committed = 0
+        events = 0
+        off_wall = 0.0
+        on_wall = 0.0
+        for payload in payloads:
+            start = time.perf_counter()
+            stats = SimStats.from_dict(
+                simulate_payload(payload, phase_profile=profile))
+            off_wall += time.perf_counter() - start
+            committed += stats.committed_uops
+            collector = MetricsCollector(EventBus())
+            start = time.perf_counter()
+            simulate_payload(payload, collector=collector)
+            on_wall += time.perf_counter() - start
+            events += sum(collector.aggregator.counts.values())
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    metrics = {
+        "events_off_uops_per_sec": committed / off_wall if off_wall else 0.0,
+        "events_on_uops_per_sec": committed / on_wall if on_wall else 0.0,
+        "overhead_ratio": on_wall / off_wall if off_wall else 0.0,
+        "events_per_sec": events / on_wall if on_wall else 0.0,
+        "events": float(events),
+        "wall_seconds": off_wall + on_wall,
+        "cells": float(len(payloads)),
+        "committed_uops": float(committed),
+    }
+    settings = Settings(workloads=tuple(workloads),
+                        warmup_uops=settings.warmup_uops,
+                        measure_uops=settings.measure_uops,
+                        functional_warmup_uops=settings.functional_warmup_uops,
+                        seed=settings.seed)
+    return _finish("telemetry", metrics, settings, quick, profile)
+
+
 def _finish(name: str, metrics: Dict[str, float], settings: Settings,
             quick: bool, profile: Optional[PhaseProfile]) -> BenchResult:
     return BenchResult(
@@ -424,6 +502,7 @@ BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
     "table2": bench_table2,
     "trace": bench_trace,
     "sampling": bench_sampling,
+    "telemetry": bench_telemetry,
 }
 
 

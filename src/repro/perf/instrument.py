@@ -10,7 +10,10 @@ Phases are the machine's stages, timed in tick order: one bucket per
 entry of :data:`repro.pipeline.stages.TICK_ORDER` (``commit``,
 ``writeback``, ``execute``, ``wakeup``, ``issue``, ``rename``,
 ``fetch``, ``bookkeep``). Custom stages inserted through
-``extra_stages`` get their own buckets on first tick.
+``extra_stages`` get their own buckets on first tick — a profiled
+``--metrics`` run shows the telemetry probes' cost as its own line
+(e.g. ``telemetry_occupancy``), keeping "how much does observing cost"
+answerable with the same tool as every other phase question.
 """
 
 from __future__ import annotations
@@ -82,8 +85,12 @@ class PhaseProfile:
         """One line per phase, largest share first."""
         fractions = self.fractions()
         rows = sorted(self.seconds.items(), key=lambda kv: -kv[1])
-        lines = [f"  {phase:10s} {seconds:8.3f}s  {fractions[phase]:6.1%}"
+        # Custom stage names (telemetry_occupancy, ...) run longer than
+        # the built-in phases; keep the columns aligned for any mix.
+        width = max(10, *(len(phase) for phase in self.seconds))
+        lines = [f"  {phase:{width}s} {seconds:8.3f}s  "
+                 f"{fractions[phase]:6.1%}"
                  for phase, seconds in rows]
-        lines.append(f"  {'cycles':10s} {self.cycles}")
-        lines.append(f"  {'storms':10s} {self.replay_storms}")
+        lines.append(f"  {'cycles':{width}s} {self.cycles}")
+        lines.append(f"  {'storms':{width}s} {self.replay_storms}")
         return "\n".join(lines)

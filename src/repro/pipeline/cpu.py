@@ -48,9 +48,17 @@ class Simulator:
 
     def __init__(self, config: SimConfig, trace: TraceSource,
                  stats: Optional[SimStats] = None, phase_profile=None,
-                 stage_overrides=None, extra_stages=()) -> None:
+                 stage_overrides=None, extra_stages=(),
+                 event_bus=None) -> None:
         """Build the structures, then wire the stage list over them
-        (see :func:`repro.pipeline.stages.build_stages`)."""
+        (see :func:`repro.pipeline.stages.build_stages`).
+
+        ``event_bus`` (a :class:`repro.telemetry.events.EventBus`) turns
+        on per-µop lifecycle events: the event-emitting stage subclasses
+        are merged under any explicit ``stage_overrides``. When it is
+        ``None`` (the default) the telemetry package is not even
+        imported and the machine is built from the plain stage classes.
+        """
         config.validate()
         self.config = config
         self.trace = trace
@@ -87,6 +95,13 @@ class Simulator:
         self.l1_miss = Wire("l1_miss_this_cycle", False)
         self.l1_access = Wire("l1_access_this_cycle", False)
 
+        self.event_bus = event_bus
+        if event_bus is not None:
+            from repro.telemetry.stages import TELEMETRY_STAGES
+
+            merged = dict(TELEMETRY_STAGES)
+            merged.update(stage_overrides or {})
+            stage_overrides = merged
         self.stages = build_stages(self, overrides=stage_overrides, extra=extra_stages)
 
         # Optional per-stage instrumentation (repro.perf). Swapping the

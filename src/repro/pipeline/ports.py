@@ -161,6 +161,11 @@ class DelayQueue:
         """Number of occupied delivery cycles."""
         return len(self.slots)
 
+    def in_flight(self) -> int:
+        """Total queued deliveries across every pending cycle (the
+        latch-bank occupancy the telemetry probes sample)."""
+        return sum(len(entries) for entries in self.slots.values())
+
     # -- state protocol (repro.checkpoint) -------------------------------
 
     def state_dict(self, ctx) -> List[Tuple[int, List[Tuple[int, int]]]]:

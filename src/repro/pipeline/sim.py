@@ -92,6 +92,7 @@ def run_workload(
     max_cycles: int = DEFAULT_MAX_CYCLES,
     functional_warmup_uops: int = DEFAULT_FUNCTIONAL_WARMUP_UOPS,
     checkpoint=None,
+    collector=None,
 ) -> RunResult:
     """Run ``workload`` under ``config`` and return measured-region stats.
 
@@ -101,7 +102,10 @@ def run_workload(
     path (scenario spec, recorded trace), or a workload object.
     ``checkpoint`` (a ``.ckpt`` path) resumes from saved warm state
     instead of starting cold — warmup/measure volumes then count from
-    the checkpointed position.
+    the checkpointed position. ``collector`` (a
+    :class:`repro.telemetry.probes.MetricsCollector`) instruments the
+    run with the metric probes; the distilled table lands in the
+    result's ``stats.telemetry``.
     """
     from repro.experiments.engine import simulate_payload
 
@@ -111,7 +115,7 @@ def run_workload(
         max_cycles=max_cycles,
         functional_warmup_uops=functional_warmup_uops,
         checkpoint=checkpoint)
-    stats = SimStats.from_dict(simulate_payload(payload))
+    stats = SimStats.from_dict(simulate_payload(payload, collector=collector))
     return RunResult(workload=spec.name, config_name=config.name,
                      stats=stats)
 

@@ -36,9 +36,6 @@ class Commit(Stage):
         head = rob.head()
         if head is None or not head.completed:
             return
-        stats = self.stats
-        policy = self.policy
-        renamer = self.renamer
         retired = 0
         width = self.width
         while retired < width:
@@ -48,15 +45,21 @@ class Commit(Stage):
                 raise SimulationError(
                     f"wrong-path µop reached ROB head: {head!r}")
             rob.retire_head()
-            renamer.commit(head)
-            if head.is_mem:
-                self.lsq.release(head)
-            head.commit_cycle = now
-            stats.committed_uops += 1
-            if head.is_load:
-                policy.on_load_commit(head)
-            policy.on_uop_commit(head)
+            self._retire(head, now)
             retired += 1
             head = rob.head()
         if retired:
             self.last_commit.value = now
+
+    def _retire(self, head, now: int) -> None:
+        """Architectural effects of one retirement (the per-µop seam
+        telemetry overrides; the ROB entry is already popped)."""
+        self.renamer.commit(head)
+        if head.is_mem:
+            self.lsq.release(head)
+        head.commit_cycle = now
+        self.stats.committed_uops += 1
+        policy = self.policy
+        if head.is_load:
+            policy.on_load_commit(head)
+        policy.on_uop_commit(head)

@@ -198,6 +198,14 @@ class Execute(Stage):
             # Baseline_0.
             self.stats.record_replayed(cause, len(doomed))
             self.issue_block.value = now  # "an additional issue cycle is lost"
+        self._note_replay(events, doomed, now)
+
+    def _note_replay(self, events, doomed, now: int) -> None:
+        """Telemetry seam: a replay window was just handled (no-op here).
+
+        ``events`` are the triggering :class:`ReplayEvent`\\ s, ``doomed``
+        the µops squashed by them.
+        """
 
     def _rearm_waiting_uops(self) -> None:
         """Recompute readiness for every µop still waiting to (re-)issue.
@@ -232,6 +240,7 @@ class Execute(Stage):
         self._kill_uops(doomed)
         self.renamer.rollback(doomed)
         self.frontend.redirect(now)
+        self._note_squash("branch", branch, doomed, now)
 
     def _violation_squash(self, offender: MicroOp, now: int) -> None:
         doomed = self.rob.squash_younger(offender.seq, inclusive=True)
@@ -241,6 +250,13 @@ class Execute(Stage):
                    if not u.wrong_path]
         self.frontend.redirect(now)
         self.frontend.inject_refetch(refetch)
+        self._note_squash("violation", offender, doomed, now)
+
+    def _note_squash(self, cause: str, trigger: MicroOp, doomed,
+                     now: int) -> None:
+        """Telemetry seam: a branch/violation squash cascade just ran
+        (no-op here). ``trigger`` is the mispredicted branch or the
+        offending load."""
 
     def _kill_uops(self, doomed: List[MicroOp]) -> None:
         if not doomed:

@@ -43,7 +43,7 @@ class Rename(Stage):
         order on the first structural hazard."""
         fetch = self.frontend
         rob, iq, lsq = self.rob, self.iq, self.lsq
-        renamer, scoreboard = self.renamer, self.scoreboard
+        renamer = self.renamer
         for _ in range(self.width):
             uop = fetch.peek(now)
             if uop is None:
@@ -54,16 +54,24 @@ class Rename(Stage):
                     or (uop.is_store and lsq.sq_full())):
                 return
             fetch.pop()
-            renamer.rename(uop)
-            if uop.pdst >= 0:
-                scoreboard.unready(uop.pdst)
-            rob.allocate(uop)
-            iq.insert(uop)
-            scoreboard.watch(uop)
-            if uop.is_mem:
-                lsq.insert(uop)
-                dep = self.store_sets.lookup_dependence(uop)
-                if dep is not None:
-                    lsq.add_store_dependence(uop, dep)
-            if uop.pending == 0:
-                iq.make_ready(uop)
+            self._dispatch(uop, now)
+
+    def _dispatch(self, uop, now: int) -> None:
+        """Atomic rename+dispatch of one accepted µop (the per-µop seam
+        telemetry overrides; hazards were already checked by ``tick``)."""
+        scoreboard = self.scoreboard
+        self.renamer.rename(uop)
+        if uop.pdst >= 0:
+            scoreboard.unready(uop.pdst)
+        self.rob.allocate(uop)
+        iq = self.iq
+        iq.insert(uop)
+        scoreboard.watch(uop)
+        if uop.is_mem:
+            lsq = self.lsq
+            lsq.insert(uop)
+            dep = self.store_sets.lookup_dependence(uop)
+            if dep is not None:
+                lsq.add_store_dependence(uop, dep)
+        if uop.pending == 0:
+            iq.make_ready(uop)

@@ -1,0 +1,337 @@
+"""The pipeline event bus: per-µop lifecycle events and pluggable sinks.
+
+An *event* is a flat 6-tuple ``(cycle, kind, seq, pc, a, b)`` — cheap
+enough to emit from stage hot paths when recording is on, and trivially
+serializable. ``kind`` is one of the :data:`EVENT_KINDS` strings; the
+meaning of the two payload integers ``a``/``b`` is per-kind (documented
+next to each ``EV_*`` constant and in ``docs/OBSERVABILITY.md``).
+
+The bus itself is a thin fan-out. When a simulator is built *without* a
+bus (the default) nothing here is even imported into the tick path —
+the stage list uses the plain stage classes and the hot loop is
+bit-identical to an uninstrumented build. :data:`NULL_BUS` exists for
+code that wants an unconditionally callable ``emit`` anyway; its emit is
+the module-level no-op :func:`null_emit`, so such a caller pays one
+attribute lookup and one falsy-cheap call, nothing more.
+
+Sinks implement one method, ``emit(cycle, kind, seq, pc=0, a=0, b=0)``:
+
+* :class:`RingBufferSink` — bounded in-memory tail for tests and
+  interactive inspection;
+* :class:`JsonlEventWriter` — streaming (optionally gzip'd) JSONL file
+  with a versioned header + provenance line, mirroring the binary trace
+  format's header/provenance discipline (:mod:`repro.traces.format`);
+* :class:`AggregatorSink` — running histograms (replay distance, burst
+  length, per-PC filter accuracy) for the ``--metrics`` report.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "AggregatorSink",
+    "EVENT_FIELDS",
+    "EVENT_KINDS",
+    "EVENTS_FORMAT",
+    "EVENTS_VERSION",
+    "EventBus",
+    "EventsFormatError",
+    "JsonlEventWriter",
+    "NULL_BUS",
+    "RingBufferSink",
+    "SQUASH_CAUSES",
+    "null_emit",
+    "open_events",
+]
+
+EVENTS_FORMAT = "repro-events"
+#: Bumped when the line layout or field semantics change.
+EVENTS_VERSION = 1
+#: Field order of every event tuple / JSONL array line.
+EVENT_FIELDS = ("cycle", "kind", "seq", "pc", "a", "b")
+
+# -- event kinds (a/b payload meanings) -------------------------------------
+
+EV_FETCH = "fetch"              # a: wrong_path (0/1)     b: opclass value
+EV_RENAME = "rename"            # µop entered the OoO window
+EV_ISSUE = "issue"              # a: num_issues           b: promised latency
+EV_RECOVER = "recover"          # re-issue after replay; a: prior issues
+EV_EXECUTE = "execute"          # a: actual latency       b: L1 hit (loads)
+EV_WRITEBACK = "writeback"      # completion observed by the ROB
+EV_COMMIT = "commit"            # architectural retirement
+EV_FILTER_PRED = "filter_pred"  # a: speculate (0/1)      b: promised latency
+EV_FILTER_OUT = "filter_out"    # a: predicted hit (0/1)  b: actual hit (0/1)
+EV_REPLAY = "replay"            # a: squashed µops        b: issue-to-detect
+EV_SQUASH = "squash"            # a: cause index into SQUASH_CAUSES
+EV_VIOLATION = "violation"      # seq/pc: offending load  a: squashed µops
+
+EVENT_KINDS = (
+    EV_FETCH, EV_RENAME, EV_ISSUE, EV_RECOVER, EV_EXECUTE, EV_WRITEBACK,
+    EV_COMMIT, EV_FILTER_PRED, EV_FILTER_OUT, EV_REPLAY, EV_SQUASH,
+    EV_VIOLATION,
+)
+
+#: ``EV_SQUASH``'s ``a`` field indexes this tuple.
+SQUASH_CAUSES = ("replay", "branch", "violation")
+SQUASH_REPLAY, SQUASH_BRANCH, SQUASH_VIOLATION = range(3)
+
+
+def null_emit(cycle: int, kind: str, seq: int,
+              pc: int = 0, a: int = 0, b: int = 0) -> None:
+    """The disabled-telemetry emit: a module-level no-op."""
+
+
+class EventBus:
+    """Fan-out from emission points to the attached sinks.
+
+    With exactly one sink ``emit`` is the sink's own bound method — the
+    common recording configuration pays no fan-out loop. With none it is
+    :func:`null_emit`. Emission points read ``bus.emit`` per call (never
+    capture it at construction), so sinks may be attached mid-run — e.g.
+    a trace writer attached only after warmup.
+    """
+
+    def __init__(self, *sinks) -> None:
+        self._sinks: List[Any] = []
+        self.emit = null_emit
+        for sink in sinks:
+            self.attach(sink)
+
+    def attach(self, sink):
+        """Add ``sink`` (returns it, for assignment-friendly call sites)."""
+        self._sinks.append(sink)
+        if len(self._sinks) == 1:
+            self.emit = self._sinks[0].emit
+        else:
+            self.emit = self._fanout
+        return sink
+
+    @property
+    def sinks(self) -> Tuple[Any, ...]:
+        return tuple(self._sinks)
+
+    def _fanout(self, cycle: int, kind: str, seq: int,
+                pc: int = 0, a: int = 0, b: int = 0) -> None:
+        for sink in self._sinks:
+            sink.emit(cycle, kind, seq, pc, a, b)
+
+
+#: Shared always-disabled bus; its ``emit`` never changes.
+NULL_BUS = EventBus()
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+
+    def emit(self, cycle: int, kind: str, seq: int,
+             pc: int = 0, a: int = 0, b: int = 0) -> None:
+        self._events.append((cycle, kind, seq, pc, a, b))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[tuple]:
+        """Oldest-first snapshot of the retained tail."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class AggregatorSink:
+    """Running histograms over the event stream (no per-event storage).
+
+    Feeds the ``SimStats.telemetry`` table: replay distance and burst
+    histograms from ``replay`` events, per-PC hit/miss-filter accuracy
+    from ``filter_out`` events, plus a per-kind event census.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        #: issue→detection distance (cycles) -> occurrences.
+        self.issue_to_replay: Dict[int, int] = {}
+        #: squashed-µop count per replay event -> occurrences.
+        self.replay_burst: Dict[int, int] = {}
+        #: pc -> [pred-hit/hit, pred-hit/miss, pred-miss/hit, pred-miss/miss].
+        self.filter_pcs: Dict[int, List[int]] = {}
+
+    def emit(self, cycle: int, kind: str, seq: int,
+             pc: int = 0, a: int = 0, b: int = 0) -> None:
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind == EV_REPLAY:
+            self.replay_burst[a] = self.replay_burst.get(a, 0) + 1
+            self.issue_to_replay[b] = self.issue_to_replay.get(b, 0) + 1
+        elif kind == EV_FILTER_OUT:
+            cells = self.filter_pcs.get(pc)
+            if cells is None:
+                cells = self.filter_pcs[pc] = [0, 0, 0, 0]
+            cells[(0 if a else 2) + (0 if b else 1)] += 1
+
+    def filter_accuracy(self) -> float:
+        """Fraction of committed loads whose wakeup promise was right."""
+        correct = wrong = 0
+        for hh, hm, mh, mm in self.filter_pcs.values():
+            correct += hh + mm
+            wrong += hm + mh
+        total = correct + wrong
+        return correct / total if total else 0.0
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-able summary (string keys) for ``SimStats.telemetry``."""
+        return {
+            "events": dict(sorted(self.counts.items())),
+            "issue_to_replay": {str(k): v for k, v
+                                in sorted(self.issue_to_replay.items())},
+            "replay_burst": {str(k): v for k, v
+                             in sorted(self.replay_burst.items())},
+            "filter_pcs": {f"0x{pc:x}": list(cells) for pc, cells
+                           in sorted(self.filter_pcs.items())},
+        }
+
+
+class JsonlEventWriter:
+    """Streaming JSONL event-trace writer (optionally gzip-compressed).
+
+    Line 1 is a versioned JSON header (format tag, field order,
+    caller-supplied provenance); every further line is one event as a
+    JSON array in :data:`EVENT_FIELDS` order. Bytes are deterministic —
+    the gzip member is written with ``mtime=0`` and no filename, and the
+    header carries only what the caller passes — so identical runs
+    produce identical files (asserted by the determinism tests).
+    """
+
+    def __init__(self, path, provenance: Optional[Dict[str, Any]] = None,
+                 compress: Optional[bool] = None,
+                 flush_every: int = 8_192) -> None:
+        self.path = Path(path)
+        self.count = 0
+        self._lines: List[str] = []
+        self._flush_every = flush_every
+        if compress is None:
+            compress = self.path.name.endswith(".gz")
+        self.compressed = compress
+        self._raw = self.path.open("wb")
+        if compress:
+            # filename="" keeps the path out of the member header: two
+            # identical streams must produce identical bytes wherever
+            # they are written.
+            self._handle = gzip.GzipFile(filename="", fileobj=self._raw,
+                                         mode="wb", mtime=0)
+        else:
+            self._handle = self._raw
+        header = {"format": EVENTS_FORMAT, "version": EVENTS_VERSION,
+                  "fields": list(EVENT_FIELDS),
+                  "provenance": dict(provenance or {})}
+        self._handle.write(
+            (json.dumps(header, sort_keys=True) + "\n").encode("utf-8"))
+
+    def emit(self, cycle: int, kind: str, seq: int,
+             pc: int = 0, a: int = 0, b: int = 0) -> None:
+        self._lines.append(f'[{cycle},"{kind}",{seq},{pc},{a},{b}]\n')
+        self.count += 1
+        if len(self._lines) >= self._flush_every:
+            self._drain()
+
+    def _drain(self) -> None:
+        if self._lines:
+            self._handle.write("".join(self._lines).encode("utf-8"))
+            self._lines.clear()
+
+    def close(self) -> None:
+        self._drain()
+        self._handle.close()
+        if self._handle is not self._raw:
+            self._raw.close()
+
+    def __enter__(self) -> "JsonlEventWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Reading
+
+
+class EventsFormatError(ValueError):
+    """Raised for files that are not (readable) event traces."""
+
+
+def _open_text(path: Path):
+    handle = path.open("rb")
+    magic = handle.read(2)
+    handle.seek(0)
+    if magic == b"\x1f\x8b":
+        return gzip.open(handle, "rt", encoding="utf-8")
+    import io
+
+    return io.TextIOWrapper(handle, encoding="utf-8")
+
+
+def open_events(path) -> Tuple[Dict[str, Any], Iterator[tuple]]:
+    """Open an event trace: ``(header, lazy event-tuple iterator)``.
+
+    The iterator owns the file handle and closes it when exhausted (or
+    garbage-collected); consume it fully or discard it.
+    """
+    path = Path(path)
+    handle = _open_text(path)
+    try:
+        first = handle.readline()
+        try:
+            header = json.loads(first)
+        except ValueError as exc:
+            raise EventsFormatError(
+                f"{path}: not an event trace (bad header: {exc})") from exc
+        if not isinstance(header, dict) \
+                or header.get("format") != EVENTS_FORMAT:
+            raise EventsFormatError(f"{path}: not a {EVENTS_FORMAT} file")
+        version = header.get("version")
+        if version != EVENTS_VERSION:
+            raise EventsFormatError(
+                f"{path}: event-trace version {version} "
+                f"(this build reads {EVENTS_VERSION})")
+        if header.get("fields") != list(EVENT_FIELDS):
+            raise EventsFormatError(
+                f"{path}: unexpected field order {header.get('fields')}")
+    except BaseException:
+        handle.close()
+        raise
+
+    def _iterate() -> Iterator[tuple]:
+        with handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    yield tuple(json.loads(line))
+                except ValueError as exc:
+                    raise EventsFormatError(
+                        f"{path}: corrupt event line {line!r}") from exc
+
+    return header, _iterate()
+
+
+def count_events(path) -> Tuple[Dict[str, Any], Dict[str, int]]:
+    """``(header, kind -> count)`` for an event trace file."""
+    header, events = open_events(path)
+    counts: Dict[str, int] = {}
+    for event in events:
+        kind = event[1]
+        counts[kind] = counts.get(kind, 0) + 1
+    return header, counts

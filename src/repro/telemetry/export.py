@@ -1,0 +1,123 @@
+"""Export event traces to the gem5 O3PipeView text format.
+
+The O3PipeView format is the de-facto interchange for per-instruction
+pipeline visualisation: gem5's ``util/o3-pipeview.py`` renders it as
+ASCII art and `Konata <https://github.com/shioyadan/Konata>`_ renders it
+interactively. One record per µop::
+
+    O3PipeView:fetch:<tick>:0x<pc>:0:<sn>:<disasm>
+    O3PipeView:decode:<tick>
+    O3PipeView:rename:<tick>
+    O3PipeView:dispatch:<tick>
+    O3PipeView:issue:<tick>
+    O3PipeView:complete:<tick>
+    O3PipeView:retire:<tick>:store:<store-completion-tick>
+
+Ticks are picoseconds in gem5; we export ``cycle * TICKS_PER_CYCLE`` (a
+1 GHz clock), and ``0`` for a stage the µop never reached (the viewers'
+convention for flushed instructions). Decode is reported at the fetch
+cycle and dispatch at the rename cycle — this machine fuses those pairs
+(see ``docs/ARCHITECTURE.md``); re-issued µops report their *last*
+issue, matching how gem5 reports replayed instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, TextIO, Tuple
+
+from repro.isa.opclass import OpClass
+from repro.telemetry.events import (
+    EV_COMMIT,
+    EV_FETCH,
+    EV_ISSUE,
+    EV_RENAME,
+    EV_SQUASH,
+    EV_WRITEBACK,
+    open_events,
+)
+
+__all__ = ["TICKS_PER_CYCLE", "export_o3pipeview", "write_o3pipeview"]
+
+#: Tick scale: one simulated cycle = 1000 gem5 ticks (a 1 GHz clock).
+TICKS_PER_CYCLE = 1000
+
+#: record layout: [fetch, rename, issue, complete, retire, opclass,
+#: pc, wrong_path, squashed] — cycles are -1 until observed.
+_F, _R, _I, _C, _RET, _OP, _PC, _WP, _SQ = range(9)
+
+
+def _collect(events: Iterable[tuple]) -> Dict[int, list]:
+    records: Dict[int, list] = {}
+    for cycle, kind, seq, pc, a, b in events:
+        record = records.get(seq)
+        if record is None:
+            record = records[seq] = [-1, -1, -1, -1, -1, -1, 0, 0, 0]
+        if kind == EV_FETCH:
+            record[_F] = cycle
+            record[_PC] = pc
+            record[_WP] = a
+            record[_OP] = b
+        elif kind == EV_RENAME:
+            record[_R] = cycle
+        elif kind == EV_ISSUE:
+            record[_I] = cycle      # last issue wins (replays re-issue)
+            record[_C] = -1         # a re-issue voids the stale completion
+        elif kind == EV_WRITEBACK:
+            record[_C] = cycle
+        elif kind == EV_COMMIT:
+            record[_RET] = cycle
+        elif kind == EV_SQUASH:
+            record[_SQ] = 1
+    return records
+
+
+def _disasm(record: list) -> str:
+    try:
+        mnemonic = OpClass(record[_OP]).name.lower()
+    except ValueError:
+        mnemonic = f"op{record[_OP]}"
+    return f"{mnemonic} (wrong-path)" if record[_WP] else mnemonic
+
+
+def _tick(cycle: int) -> int:
+    return cycle * TICKS_PER_CYCLE if cycle >= 0 else 0
+
+
+def write_o3pipeview(events: Iterable[tuple], out: TextIO) -> int:
+    """Write O3PipeView records for ``events``; returns µops written.
+
+    µops that never reached rename (still in the frontend pipe at the
+    end of the run) have no events and are naturally absent; µops that
+    were flushed mid-flight appear with ``0`` for the stages they never
+    reached, which the viewers render as squashed.
+    """
+    records = _collect(events)
+    for seq in sorted(records):
+        record = records[seq]
+        retired = record[_RET] >= 0
+        out.write(f"O3PipeView:fetch:{_tick(record[_F])}"
+                  f":0x{record[_PC]:08x}:0:{seq}:{_disasm(record)}\n")
+        out.write(f"O3PipeView:decode:{_tick(record[_F])}\n")
+        out.write(f"O3PipeView:rename:{_tick(record[_R])}\n")
+        out.write(f"O3PipeView:dispatch:{_tick(record[_R])}\n")
+        out.write(f"O3PipeView:issue:{_tick(record[_I])}\n")
+        out.write(f"O3PipeView:complete:{_tick(record[_C])}\n")
+        if retired:
+            out.write(f"O3PipeView:retire:{_tick(record[_RET])}"
+                      f":store:{_tick(record[_C])}\n")
+        else:
+            out.write("O3PipeView:retire:0:store:0\n")
+    return len(records)
+
+
+def export_o3pipeview(events_path, out_path) -> Tuple[Dict[str, Any], int]:
+    """Convert an event-trace file to an O3PipeView text file.
+
+    Returns ``(event-trace header, µops written)``.
+    """
+    header, events = open_events(events_path)
+    from pathlib import Path
+
+    with Path(out_path).open("w", encoding="utf-8") as out:
+        count = write_o3pipeview(events, out)
+    return header, count

@@ -1,0 +1,123 @@
+"""Direction-aware gating: lower-is-better metrics and absolute ceilings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.bench import BenchResult
+from repro.perf.gate import (
+    GATE_SPECS,
+    GATED_METRICS,
+    LOWER,
+    RATIO_METRICS,
+    check_regression,
+)
+
+
+def sampling_result(speedup=4.0, rel_err=0.01) -> BenchResult:
+    return BenchResult(
+        name="sampling",
+        metrics={"speedup": speedup, "mean_ipc_rel_err": rel_err,
+                 "wall_seconds": 10.0},
+        provenance={}, quick=True, calibration_ops_per_sec=1_000_000.0)
+
+
+def telemetry_result(off=10_000.0, ratio=1.3,
+                     calibration=1_000_000.0) -> BenchResult:
+    return BenchResult(
+        name="telemetry",
+        metrics={"events_off_uops_per_sec": off, "overhead_ratio": ratio,
+                 "wall_seconds": 2.0},
+        provenance={}, quick=True, calibration_ops_per_sec=calibration)
+
+
+class TestSpecTable:
+    def test_primary_metric_is_the_first_spec(self):
+        for name, specs in GATE_SPECS.items():
+            assert GATED_METRICS[name] == specs[0].metric
+
+    def test_unnormalized_metrics_are_ratio_metrics(self):
+        assert "speedup" in RATIO_METRICS
+        assert "overhead_ratio" in RATIO_METRICS
+        assert "uops_per_sec" not in RATIO_METRICS
+
+    def test_ceilings_only_on_lower_is_better(self):
+        for specs in GATE_SPECS.values():
+            for spec in specs:
+                if spec.ceiling is not None:
+                    assert spec.direction == LOWER
+
+
+class TestLowerIsBetter:
+    def test_error_growth_fails(self):
+        base = sampling_result(rel_err=0.005)
+        current = sampling_result(rel_err=0.008)   # 1.6x worse
+        failures = check_regression(current, base, max_regression=0.2)
+        assert [f.metric for f in failures] == ["mean_ipc_rel_err"]
+        assert failures[0].ratio == pytest.approx(0.005 / 0.008)
+        assert not failures[0].absolute
+
+    def test_error_shrink_passes(self):
+        base = sampling_result(rel_err=0.008)
+        current = sampling_result(rel_err=0.004)
+        assert check_regression(current, base) == []
+
+    def test_overhead_growth_fails_without_ceiling_breach(self):
+        base = telemetry_result(ratio=1.2)
+        current = telemetry_result(ratio=1.8)      # < 2.0, but +50%
+        failures = check_regression(current, base, max_regression=0.2)
+        assert [f.metric for f in failures] == ["overhead_ratio"]
+
+    def test_zero_baseline_error_not_ratio_gated(self):
+        base = sampling_result(rel_err=0.0)
+        current = sampling_result(rel_err=0.01)    # under the ceiling
+        assert check_regression(current, base) == []
+
+
+class TestAbsoluteCeiling:
+    def test_ceiling_breach_fails_even_with_a_bad_baseline(self):
+        # A committed baseline cannot ratify an over-ceiling value.
+        base = telemetry_result(ratio=2.5)
+        current = telemetry_result(ratio=2.4)
+        failures = check_regression(current, base, max_regression=0.2)
+        assert len(failures) == 1
+        assert failures[0].absolute
+        assert failures[0].limit == 2.0
+        assert "absolute ceiling" in str(failures[0])
+
+    def test_ceiling_breach_and_regression_both_reported(self):
+        base = telemetry_result(ratio=1.2)
+        current = telemetry_result(ratio=2.5)
+        failures = check_regression(current, base, max_regression=0.2)
+        assert {f.absolute for f in failures} == {True, False}
+
+    def test_sampling_error_ceiling(self):
+        base = sampling_result(rel_err=0.018)
+        current = sampling_result(rel_err=0.021)
+        failures = check_regression(current, base, max_regression=0.2)
+        assert len(failures) == 1
+        assert failures[0].absolute
+
+
+class TestTelemetryBenchmarkGate:
+    def test_both_metrics_pass_in_budget(self):
+        base = telemetry_result()
+        assert check_regression(telemetry_result(), base) == []
+
+    def test_throughput_is_calibration_normalized(self):
+        base = telemetry_result(off=10_000, calibration=2_000_000)
+        current = telemetry_result(off=5_000, calibration=1_000_000)
+        assert check_regression(current, base) == []
+
+    def test_throughput_regression_fails(self):
+        base = telemetry_result(off=10_000)
+        current = telemetry_result(off=7_000)
+        failures = check_regression(current, base, max_regression=0.2)
+        assert [f.metric for f in failures] == ["events_off_uops_per_sec"]
+
+    def test_overhead_is_not_calibration_normalized(self):
+        # Same ratio on a machine with a different calibration figure
+        # must compare equal — it is already machine-neutral.
+        base = telemetry_result(ratio=1.3, calibration=2_000_000)
+        current = telemetry_result(ratio=1.3, calibration=1_000_000)
+        assert check_regression(current, base) == []
