@@ -218,13 +218,16 @@ def _cell_seed(workload, seed: Optional[int]) -> int:
 def run_sampled(workload, config: Union[str, SimConfig],
                 spec: SamplingSpec, *, seed: Optional[int] = None,
                 banked: bool = True, options=None, cache=None,
-                checkpoint=None) -> SampledResult:
+                checkpoint=None, warming: Optional[str] = None) -> SampledResult:
     """Sampled run through the engine: per-interval cells, pooled and
     persistently cached.
 
     ``checkpoint`` (a path) bases every cell on a saved warm state
     instead of fast-forwarding from µop zero; the checkpoint's content
-    digest becomes part of each cell's cache key.
+    digest becomes part of each cell's cache key. ``warming`` selects
+    the functional-warming tier for the cells' fast-forward
+    (scalar/vectorized/auto — bit-identical state either way, so it is
+    deliberately kept *out* of the cell cache key).
     """
     from repro.experiments.engine import (
         EngineOptions,
@@ -240,6 +243,8 @@ def run_sampled(workload, config: Union[str, SimConfig],
         seed=_cell_seed(resolved, seed))
     if checkpoint is not None:
         base["checkpoint"] = checkpoint_reference(checkpoint)
+    if warming is not None:
+        base["warming"] = warming
     payloads = sample_payloads(base, spec)
     stats = run_cells(payloads, options=options or EngineOptions.from_env(),
                       cache=cache)
@@ -249,14 +254,17 @@ def run_sampled(workload, config: Union[str, SimConfig],
 
 def run_sampled_chained(workload, config: Union[str, SimConfig],
                         spec: SamplingSpec, *, seed: Optional[int] = None,
-                        banked: bool = True) -> SampledResult:
+                        banked: bool = True,
+                        warming: Optional[str] = None) -> SampledResult:
     """Sampled run in one pass: a single simulator alternates functional
     fast-forward and detailed measurement intervals.
 
     Stream positions after a detailed interval are tracked by committed
     µops (in-flight fetch-ahead makes the next fast-forward start a few
     µops late) — immaterial for the statistics, and what keeps this the
-    fastest shape: the stream is consumed exactly once.
+    fastest shape: the stream is consumed exactly once. ``warming``
+    selects the functional-warming tier for the fast-forward legs
+    (:mod:`repro.pipeline.warming`).
     """
     from repro.pipeline.cpu import Simulator
 
@@ -269,7 +277,7 @@ def run_sampled_chained(workload, config: Union[str, SimConfig],
     for index in range(spec.intervals):
         gap = spec.interval_offset(index) - position
         if gap > 0:
-            position += sim.fast_forward(gap)
+            position += sim.fast_forward(gap, mode=warming)
         base = sim.stats.committed_uops
         sim.run(max_uops=base + spec.warmup_uops)
         baseline = sim.stats.copy()

@@ -19,9 +19,9 @@ Commands:
   freeze a mid-run simulator's complete state to a versioned ``.ckpt``
   file, inspect one (``--verify`` re-checks the content digest);
 * ``bench [NAME ...]`` — measure simulator throughput (headline /
-  table2 / trace / sampling / telemetry), write ``BENCH_<name>.json``
-  trajectory files and, with ``--baseline``, enforce the perf
-  regression gate;
+  table2 / trace / sampling / telemetry / warming), write
+  ``BENCH_<name>.json`` trajectory files and, with ``--baseline``,
+  enforce the perf regression gate;
 * ``events record WORKLOAD CONFIG`` / ``events info FILE`` / ``events
   dump FILE`` / ``events export FILE`` — record a per-µop pipeline
   event trace (JSONL, optionally gzip'd), inspect it, print raw events,
@@ -43,6 +43,7 @@ on ``figure``, ``table2`` and ``sweep`` override ``REPRO_JOBS`` /
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -114,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="chained: one pass, fastest (default); "
                             "cells: per-interval engine cells, pooled "
                             "(--jobs) and persistently cached")
+    run_p.add_argument("--warming", choices=("auto", "scalar", "vectorized"),
+                       default=None,
+                       help="functional-warming tier: vectorized numpy "
+                            "kernels or the scalar reference loop "
+                            "(bit-identical results; default auto = "
+                            "vectorized when numpy is available)")
     run_p.add_argument("--metrics", action="store_true",
                        help="attach the telemetry probes (occupancy "
                             "histograms, replay/filter aggregates) and "
@@ -211,8 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="measure simulator throughput and write "
                       "BENCH_<name>.json trajectory files")
     bench_p.add_argument("names", nargs="*", metavar="NAME",
-                         help="benchmarks to run (default: all; see "
-                              "repro.perf.bench.BENCHMARKS)")
+                         help="benchmarks to run: headline, table2, "
+                              "trace, sampling, telemetry, warming "
+                              "(default: all)")
     bench_p.add_argument("--quick", action="store_true",
                          help="CI volumes: 4 workloads, reduced µop counts")
     bench_p.add_argument("--out-dir", default=".", metavar="DIR",
@@ -391,6 +399,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if given:
             return _fail(ValueError(
                 f"{', '.join(given)} only take effect with --sample"))
+    if args.warming is not None:
+        from repro.pipeline.warming import set_default_mode
+
+        # Process-wide default for this invocation; the environment
+        # variable is the cross-process channel (engine pool workers).
+        set_default_mode(args.warming)
+        os.environ["REPRO_WARMING"] = args.warming
     if args.sample:
         from repro.checkpoint.sampling import (
             run_sampled,
@@ -404,7 +419,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     args.workload, args.config, spec,
                     banked=not args.dual_ported,
                     options=_engine_options(args),
-                    checkpoint=args.from_checkpoint)
+                    checkpoint=args.from_checkpoint,
+                    warming=args.warming)
             else:
                 if args.from_checkpoint is not None:
                     raise ValueError(
@@ -412,7 +428,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                         "(the chained pass owns its own warming)")
                 result = run_sampled_chained(args.workload, args.config,
                                              spec,
-                                             banked=not args.dual_ported)
+                                             banked=not args.dual_ported,
+                                             warming=args.warming)
         except (KeyError, OSError, ValueError) as exc:
             return _fail(exc)
         _print_sampled(result)

@@ -106,6 +106,11 @@ class ComposedPolicy(SchedulingPolicy):
         if self.hm_filter is not None:
             self.hm_filter.train(uop.pc, uop.l1_hit)
 
+    def on_load_commits(self, outcomes) -> None:
+        """Batch filter training (vectorized warming): ordered (pc, hit) pairs."""
+        if self.hm_filter is not None:
+            self.hm_filter.train_batch(outcomes)
+
     def on_uop_commit(self, uop: MicroOp) -> None:
         if self.crit is not None:
             self.crit.train(uop.pc, uop.was_critical)

@@ -65,6 +65,18 @@ class SchedulingPolicy:
     def on_load_commit(self, uop: MicroOp) -> None:
         """A load retired; ``uop.l1_hit`` holds its outcome."""
 
+    def on_load_commits(self, outcomes) -> None:
+        """Batch form of :meth:`on_load_commit` for functional warming.
+
+        ``outcomes`` is an ordered sequence of ``(pc, l1_hit)`` pairs —
+        the per-load L1 probe outcomes of one warming block, in stream
+        order. The vectorized warming tier trains through this hook
+        (there are no µop objects on that path), so policies that
+        override :meth:`on_load_commit` with per-PC state must override
+        this too, preserving per-pair order. No-op by default, matching
+        :meth:`on_load_commit`.
+        """
+
     def on_uop_commit(self, uop: MicroOp) -> None:
         """Any µop retired; ``uop.was_critical`` holds the ROB-head tag."""
 

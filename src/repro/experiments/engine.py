@@ -305,9 +305,13 @@ def cell_key(payload: Dict[str, Any]) -> str:
     alone: the same warm state at two paths (or regenerated with
     different compression) hits the same entries, and a regenerated
     checkpoint with different state can never serve stale results.
+    The ``warming`` tier selector is excluded: the vectorized and
+    scalar warming tiers are bit-identical by contract
+    (:mod:`repro.pipeline.warming`), so results are interchangeable.
     """
     normalized = {**payload,
                   "workload": workload_identity(payload["workload"])}
+    normalized.pop("warming", None)
     checkpoint = normalized.get("checkpoint")
     if checkpoint is not None:
         normalized["checkpoint"] = {"digest": checkpoint["digest"]}
@@ -350,6 +354,11 @@ def simulate_payload(payload: Dict[str, Any],
       interval of a :class:`~repro.checkpoint.sampling.SamplingSpec`:
       functional fast-forward to the interval start, then a detailed
       warmup + measured region at the spec's per-interval volumes.
+
+    A third field, ``warming``, selects the functional-warming tier
+    (``scalar``/``vectorized``/``auto``) for any fast-forward or
+    functional warmup the cell performs; it never changes the counters
+    (bit-identity contract) and is excluded from the cache key.
     """
     from repro.common.config import SimConfig
 
@@ -363,6 +372,7 @@ def simulate_payload(payload: Dict[str, Any],
                         measure_uops=payload["measure_uops"],
                         sampling=sampling)
     seed = cell_seed(payload)
+    warming = payload.get("warming")
     checkpoint = payload.get("checkpoint")
     position = 0
     if checkpoint is not None:
@@ -406,7 +416,7 @@ def simulate_payload(payload: Dict[str, Any],
                 f"checkpoint position {position} is past interval "
                 f"{sampling['index']}'s start "
                 f"({spec.interval_offset(sampling['index'])})")
-        sim.fast_forward(gap)
+        sim.fast_forward(gap, mode=warming)
         base = sim.stats.committed_uops
         sim.run(max_uops=base + spec.warmup_uops)
         baseline = sim.stats.copy()
@@ -433,7 +443,8 @@ def simulate_payload(payload: Dict[str, Any],
 
     if payload["functional_warmup_uops"]:
         sim.functional_warmup(workload.build_trace(seed),
-                              payload["functional_warmup_uops"])
+                              payload["functional_warmup_uops"],
+                              mode=warming)
     stats = sim.run_with_warmup(payload["warmup_uops"],
                                 payload["measure_uops"],
                                 max_cycles=payload.get("max_cycles"))

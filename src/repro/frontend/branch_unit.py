@@ -18,6 +18,20 @@ from repro.isa.opclass import OpClass
 from repro.isa.uop import MicroOp
 
 
+class _WarmBranch:
+    """Reusable µop stand-in for :meth:`BranchUnit.resolve_block`.
+
+    :meth:`BranchUnit.predict` and :meth:`BranchUnit.resolve` read and
+    write only these fields and never retain the object, so one shim can
+    carry every branch of a warming block — skipping the ~40-slot
+    :class:`MicroOp` construction per branch that dominates the scalar
+    tier's branch cost.
+    """
+
+    __slots__ = ("pc", "opclass", "target", "taken",
+                 "pred_taken", "pred_target", "bp_state")
+
+
 class BranchUnit:
     """Frontend branch prediction state machine."""
 
@@ -74,6 +88,108 @@ class BranchUnit:
         if mispredicted:
             self._repair(uop)
         return mispredicted
+
+    def resolve_block(self, pcs, opclasses, targets, takens,
+                      cond_indices=None) -> None:
+        """Batch predict+resolve for functional warming, in stream order.
+
+        TAGE's speculative history makes every prediction depend on the
+        previous branch, so the walk is sequential; the batch form's
+        wins are skipping per-branch µop construction and, for
+        conditionals, the RAS snapshot/restore round trip (a conditional
+        never touches the RAS between predict and resolve, so repairing
+        it to its own snapshot is a content no-op — calls/returns go
+        through the full :meth:`predict`/:meth:`resolve` pair via a
+        reusable shim). ``cond_indices``, when given, is the
+        ``(idx_rows, tag_rows)`` pair of block-folded TAGE lookups
+        (:func:`repro.pipeline.warming.engine.tage_fold_indices`), one
+        row per conditional branch in order. ``opclasses`` may be raw
+        ints (``OpClass`` is an ``IntEnum``). State and counter effects
+        are identical to calling :meth:`predict` + :meth:`resolve` per
+        branch µop.
+        """
+        shim = _WarmBranch()
+        predict = self.predict
+        resolve = self.resolve
+        tage = self.tage
+        tage_predict = tage.predict
+        warm_predict = tage.warm_predict
+        tage_update = tage.update
+        restore_history = tage.restore_history
+        push_history = tage._push_history
+        call, ret = OpClass.CALL, OpClass.RET
+        rows = iter(zip(*cond_indices)) if cond_indices is not None else None
+        lookups = 0
+        # The BTB is inlined against its internals (exact lookup/install
+        # semantics incl. hit/miss/stamp accounting); its counters live
+        # in locals and are synced around the call/ret path, which goes
+        # through the real methods.
+        btb = self.btb
+        btb_sets = btb._sets
+        btb_num_sets = btb.num_sets
+        btb_ways = btb.ways
+        btb_stamp = btb._stamp
+        btb_hits = 0
+        btb_misses = 0
+        for pc, opclass, target, taken in zip(pcs, opclasses, targets, takens):
+            if opclass == call or opclass == ret:
+                btb._stamp = btb_stamp
+                btb.hits += btb_hits
+                btb.misses += btb_misses
+                btb_hits = btb_misses = 0
+                shim.pc = pc
+                shim.opclass = opclass
+                shim.target = target
+                shim.taken = taken
+                shim.bp_state = None
+                shim.pred_taken, shim.pred_target = predict(shim)
+                resolve(shim)
+                btb_stamp = btb._stamp
+                continue
+            lookups += 1
+            if rows is None:
+                pred_taken, tage_state = tage_predict(pc)
+            else:
+                idxs, tags = next(rows)
+                pred_taken, tage_state = warm_predict(pc, idxs, tags)
+            tage_pred = pred_taken
+            if pred_taken:
+                btb_set = btb_sets[(pc >> 2) % btb_num_sets]
+                entry = btb_set.get(pc)
+                if entry is None:             # BTB miss: demote (predict)
+                    btb_misses += 1
+                    pred_taken, pred_target = False, pc + 1
+                else:
+                    btb_hits += 1
+                    btb_stamp += 1
+                    pred_target = entry[0]
+                    btb_set[pc] = (pred_target, btb_stamp)
+            else:
+                pred_target = pc + 1
+            mispredicted = (pred_taken != taken) or (
+                taken and pred_target != target)
+            tage_update(taken, tage_state)
+            if taken:                         # install()
+                btb_set = btb_sets[(pc >> 2) % btb_num_sets]
+                btb_stamp += 1
+                if pc not in btb_set and len(btb_set) >= btb_ways:
+                    victim = min(btb_set, key=lambda key: btb_set[key][1])
+                    del btb_set[victim]
+                btb_set[pc] = (target, btb_stamp)
+            if mispredicted:                  # _repair, minus the RAS no-op
+                restore_history(tage_state[STATE_HISTORY])
+                push_history(taken)
+            elif tage_pred != taken:
+                # A BTB-demoted taken prediction that came true as
+                # not-taken: no repair fires, so the history keeps the
+                # TAGE *direction*, not the outcome — the one case where
+                # block-folded indices (which assume outcome history) go
+                # stale. Finish the block on the self-folding predict.
+                rows = None
+        btb._stamp = btb_stamp
+        btb.hits += btb_hits
+        btb.misses += btb_misses
+        self.lookups += lookups
 
     def _repair(self, uop: MicroOp) -> None:
         """Restore speculative history/RAS to the post-branch state."""

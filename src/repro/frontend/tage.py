@@ -68,7 +68,18 @@ class TageLite:
         self._index_mask = cfg.table_entries - 1
         self._tag_mask = (1 << cfg.tag_bits) - 1
         self._fold_memo = {}
-        self._pair_memo = {}      # (masked hist, table) -> (idx, tag) folds
+        # Incrementally maintained per-table history folds (see
+        # :meth:`_recompute_folds`); valid only while ``_folds_history``
+        # equals ``_history``.
+        self._fold_idx = [0] * cfg.num_tagged_tables
+        self._fold_tag = [0] * cfg.num_tagged_tables
+        self._folds_history = -1
+        # Per-table advance constants: (oldest-bit shift, index-fold
+        # re-entry position, tag-fold re-entry position).
+        self._fold_geometry = [
+            (length - 1, length % self._index_bits, length % cfg.tag_bits)
+            for length in self.history_lengths
+        ]
         self._rng_state = seed or 1
         self.predictions = 0
         self.mispredictions = 0
@@ -108,40 +119,39 @@ class TageLite:
             memo[key] = folded
         return folded
 
-    def _index_tag(self, pc: int, table: int, hist: int):
-        """Fused :meth:`_index` + :meth:`_tag` for one already-masked
-        history value: one memo entry holds both folds, halving the
-        big-int hashing on the predict path (predict hashes every table
-        per branch — this is the frontend's hottest helper, and the
-        functional fast-forward mode is bounded by it)."""
-        memo = self._pair_memo
-        key = (hist, table)
-        folds = memo.get(key)
-        if folds is None:
-            index_bits = self._index_bits
-            folded_idx = 0
-            mask = (1 << index_bits) - 1
+    def _recompute_folds(self, history: int) -> None:
+        """Rebuild the per-table index/tag history folds from scratch.
+
+        The folds are the chunked-XOR folds :meth:`_fold` computes, kept
+        as live state: folding is XOR-linear, so shifting one bit into
+        the history rotates each fold by one position within its chunk
+        width and XORs in/out the entering/leaving bits — the O(tables)
+        incremental step at the end of :meth:`predict`. Any other
+        history write (squash repair, misprediction repair, checkpoint
+        restore) invalidates ``_folds_history`` and lands here. This is
+        the frontend's hottest math, and the functional fast-forward
+        mode is bounded by it."""
+        index_bits = self._index_bits
+        index_mask = (1 << index_bits) - 1
+        tag_bits = self.config.tag_bits
+        tag_mask = (1 << tag_bits) - 1
+        fold_idx = self._fold_idx
+        fold_tag = self._fold_tag
+        for t, hist_mask in enumerate(self._hist_masks):
+            hist = history & hist_mask
+            folded = 0
             v = hist
             while v:
-                folded_idx ^= v & mask
+                folded ^= v & index_mask
                 v >>= index_bits
-            tag_bits = self.config.tag_bits
-            folded_tag = 0
-            mask = (1 << tag_bits) - 1
+            fold_idx[t] = folded
+            folded = 0
             v = hist
             while v:
-                folded_tag ^= v & mask
+                folded ^= v & tag_mask
                 v >>= tag_bits
-            if len(memo) >= self._FOLD_MEMO_LIMIT:
-                memo.clear()
-            folds = memo[key] = (folded_idx, folded_tag)
-        folded_idx, folded_tag = folds
-        bits = self._index_bits
-        index = (folded_idx ^ (pc >> 2) ^ (pc >> (bits + 2))
-                 ^ table) & self._index_mask
-        tag = (folded_tag ^ (pc >> 2)
-               ^ (pc * 0x9E3779B1 >> 13)) & self._tag_mask
-        return index, tag
+            fold_tag[t] = folded
+        self._folds_history = history
 
     def _index(self, pc: int, table: int) -> int:
         bits = self._index_bits
@@ -183,13 +193,71 @@ class TageLite:
         alt_pred = None
         pred = None
         history = self._history
-        hist_masks = self._hist_masks
+        if history != self._folds_history:
+            self._recompute_folds(history)
+        fold_idx = self._fold_idx
+        fold_tag = self._fold_tag
         tables = self._tables
-        index_tag = self._index_tag
+        bits = self._index_bits
+        index_mask = self._index_mask
+        tag_mask = self._tag_mask
+        pc_idx = (pc >> 2) ^ (pc >> (bits + 2))
+        pc_tag = ((pc >> 2) ^ (pc * 0x9E3779B1 >> 13)) & tag_mask
         for t in range(self.config.num_tagged_tables - 1, -1, -1):
-            idx, tag = index_tag(pc, t, history & hist_masks[t])
+            idx = (fold_idx[t] ^ pc_idx ^ t) & index_mask
             entry = tables[t][idx]
-            if entry.tag == tag:
+            if entry.tag == (fold_tag[t] ^ pc_tag) & tag_mask:
+                if provider == -1:
+                    provider, provider_idx = t, idx
+                    pred = entry.ctr >= 0
+                elif alt_pred is None:
+                    alt_pred = entry.ctr >= 0
+                    break
+        bimodal_pred = self._bimodal[self._bimodal_index(pc)] >= 2
+        if alt_pred is None:
+            alt_pred = bimodal_pred
+        if pred is None:
+            pred = bimodal_pred
+        state = (provider, provider_idx, alt_pred, pred, history, pc)
+        self._push_history(pred)
+        # Advance the live folds to the pushed history (rotate-and-XOR;
+        # see _recompute_folds): each table shifts in the predicted bit
+        # and drops its oldest history bit.
+        bit = 1 if pred else 0
+        tag_bits = self.config.tag_bits
+        for t, (drop_shift, idx_pos, tag_pos) in enumerate(self._fold_geometry):
+            dropped = (history >> drop_shift) & 1
+            f = fold_idx[t]
+            fold_idx[t] = (((f << 1) | (f >> (bits - 1))) & index_mask
+                           ) ^ bit ^ (dropped << idx_pos)
+            f = fold_tag[t]
+            fold_tag[t] = (((f << 1) | (f >> (tag_bits - 1))) & tag_mask
+                           ) ^ bit ^ (dropped << tag_pos)
+        self._folds_history = self._history
+        return pred, state
+
+    def warm_predict(self, pc: int, idxs, tags) -> Tuple[bool, tuple]:
+        """:meth:`predict` with precomputed per-table indices and tags.
+
+        ``idxs``/``tags`` are this branch's table indices and partial
+        tags, low table first, as the vectorized warming tier folds them
+        in bulk (:func:`repro.pipeline.warming.engine.tage_fold_indices`)
+        — they must equal what :meth:`predict` would compute for the
+        current history. Counter and state effects are identical to
+        :meth:`predict`; the live folds are left stale
+        (``_folds_history`` no longer matches) and rebuilt by the next
+        plain :meth:`predict`.
+        """
+        self.predictions += 1
+        provider = -1
+        provider_idx = -1
+        alt_pred = None
+        pred = None
+        tables = self._tables
+        for t in range(self.config.num_tagged_tables - 1, -1, -1):
+            idx = idxs[t]
+            entry = tables[t][idx]
+            if entry.tag == tags[t]:
                 if provider == -1:
                     provider, provider_idx = t, idx
                     pred = entry.ctr >= 0
@@ -287,7 +355,7 @@ class TageLite:
         self.predictions = state["predictions"]
         self.mispredictions = state["mispredictions"]
         self._fold_memo = {}
-        self._pair_memo = {}
+        self._folds_history = -1
 
 
 def _saturate(ctr: int) -> int:

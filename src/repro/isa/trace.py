@@ -84,6 +84,29 @@ class TraceSource:
         """Return the next correct-path µop, or ``None`` when exhausted."""
         raise NotImplementedError
 
+    def next_block(self, max_uops: int) -> List[MicroOp]:
+        """Return up to ``max_uops`` correct-path µops (empty when exhausted).
+
+        Block-yield form of :meth:`next_uop` for the functional-warming
+        tier (:mod:`repro.pipeline.warming`): consuming the stream in
+        blocks amortizes per-µop dispatch. The base implementation loops
+        :meth:`next_uop`, so any source is block-capable; generator
+        sources override with a bulk walk, and recorded traces
+        additionally expose raw record blocks
+        (:meth:`repro.traces.format.FileTrace.next_record_block`).
+        Stream position and checkpoint state advance exactly as if
+        :meth:`next_uop` had been called per µop.
+        """
+        out: List[MicroOp] = []
+        append = out.append
+        next_uop = self.next_uop
+        for _ in range(max_uops):
+            uop = next_uop()
+            if uop is None:
+                break
+            append(uop)
+        return out
+
     def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
         """Synthesize one wrong-path µop fetched from (bogus) ``pc``.
 

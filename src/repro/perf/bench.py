@@ -14,7 +14,10 @@ benchmarks track the hot paths that matter:
 * ``sampling`` — SMARTS-sampled vs full-detailed wall clock (+ the
   sampled IPC's relative error) on the headline grid;
 * ``telemetry`` — the cost of observation: events-off throughput (the
-  seams must be free) and the events-on overhead ratio.
+  seams must be free) and the events-on overhead ratio;
+* ``warming`` — scalar vs vectorized functional-warming throughput on
+  recorded traces over the sampling benchmark's warming span, plus the
+  checkpoint-digest equality that makes the speedup admissible.
 
 Every run produces a :class:`BenchResult` with provenance (git sha,
 python version, host) and a *calibration* figure — a fixed pure-Python
@@ -57,9 +60,13 @@ QUICK_WORKLOADS: Tuple[str, ...] = ("gzip", "mcf", "swim", "xalancbmk")
 
 #: Volumes for ``--quick`` runs (fixed: quick results must be comparable
 #: across runs regardless of REPRO_* scaling knobs).
-QUICK_SETTINGS = Settings(workloads=QUICK_WORKLOADS, warmup_uops=1_000,
-                          measure_uops=8_000,
-                          functional_warmup_uops=20_000, seed=1)
+QUICK_SETTINGS = Settings(
+    workloads=QUICK_WORKLOADS,
+    warmup_uops=1_000,
+    measure_uops=8_000,
+    functional_warmup_uops=20_000,
+    seed=1,
+)
 
 #: µops captured/decoded by the ``trace`` benchmark.
 TRACE_BENCH_UOPS = 60_000
@@ -67,10 +74,8 @@ TRACE_BENCH_UOPS_QUICK = 40_000
 
 #: The ``sampling`` benchmark's fig8-style series (baseline + the
 #: paper's combined mechanism stacks — the headline configurations).
-SAMPLING_PRESETS: Tuple[str, ...] = (
-    "Baseline_0", "SpecSched_4_Combined", "SpecSched_4_Crit")
-SAMPLING_PRESETS_QUICK: Tuple[str, ...] = (
-    "Baseline_0", "SpecSched_4_Combined")
+SAMPLING_PRESETS: Tuple[str, ...] = ("Baseline_0", "SpecSched_4_Combined", "SpecSched_4_Crit")
+SAMPLING_PRESETS_QUICK: Tuple[str, ...] = ("Baseline_0", "SpecSched_4_Combined")
 SAMPLING_WORKLOADS_QUICK: Tuple[str, ...] = ("gzip", "mcf")
 
 #: The ``telemetry`` benchmark's configuration: a replaying preset, so
@@ -78,6 +83,17 @@ SAMPLING_WORKLOADS_QUICK: Tuple[str, ...] = ("gzip", "mcf")
 #: actually exercised.
 TELEMETRY_PRESET = "SpecSched_4_Combined"
 TELEMETRY_WORKLOADS_QUICK: Tuple[str, ...] = ("gzip", "mcf")
+
+#: The ``warming`` benchmark's grid and per-cell stream span. The span
+#: equals the full sampling benchmark's ``SamplingSpec.span_uops`` — the
+#: stretch of stream functional warming covers per cell when sampling
+#: runs the fig8 grid — in quick mode too: a shorter span would measure
+#: per-block fixed costs instead of the warming tiers, so quick runs
+#: shrink only the grid.
+WARMING_PRESETS: Tuple[str, ...] = SAMPLING_PRESETS
+WARMING_PRESETS_QUICK: Tuple[str, ...] = SAMPLING_PRESETS_QUICK
+WARMING_WORKLOADS_QUICK: Tuple[str, ...] = SAMPLING_WORKLOADS_QUICK
+WARMING_SPAN_UOPS = 321_300
 
 
 # ---------------------------------------------------------------------------
@@ -111,8 +127,8 @@ class BenchResult:
                 raise ValueError(f"bench result missing {required!r}")
         if data.get("schema", BENCH_SCHEMA) != BENCH_SCHEMA:
             raise ValueError(
-                f"bench result schema {data.get('schema')} (this build "
-                f"reads {BENCH_SCHEMA})")
+                f"bench result schema {data.get('schema')} (this build " f"reads {BENCH_SCHEMA})"
+            )
         if not isinstance(data["metrics"], dict):
             raise ValueError("bench result metrics must be an object")
         return cls(
@@ -120,8 +136,7 @@ class BenchResult:
             metrics={k: float(v) for k, v in data["metrics"].items()},
             provenance=dict(data.get("provenance") or {}),
             quick=bool(data.get("quick", False)),
-            calibration_ops_per_sec=float(
-                data.get("calibration_ops_per_sec", 0.0)),
+            calibration_ops_per_sec=float(data.get("calibration_ops_per_sec", 0.0)),
             phases=dict(data.get("phases") or {}),
         )
 
@@ -129,8 +144,7 @@ class BenchResult:
 
     def write(self, path) -> Path:
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
-                        + "\n")
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
         return path
 
     @classmethod
@@ -158,8 +172,12 @@ def write_result(result: BenchResult, out_dir=".") -> Path:
 def _git_sha() -> str:
     try:
         out = subprocess.run(
-            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
-            timeout=10, cwd=Path(__file__).resolve().parent)
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
     except (OSError, subprocess.SubprocessError):
         return "unknown"
     sha = out.stdout.strip()
@@ -228,27 +246,31 @@ def _settings(quick: bool) -> Settings:
     return QUICK_SETTINGS if quick else Settings.from_env()
 
 
-def _run_grid(sweep_settings: Settings, series,
-              profile: Optional[PhaseProfile]) -> Dict[str, float]:
+def _run_grid(
+    sweep_settings: Settings, series, profile: Optional[PhaseProfile]
+) -> Dict[str, float]:
     """Simulate a (series x workloads) grid serially; throughput metrics."""
-    resolved = {name: resolve_workload(name)
-                for name in sweep_settings.workloads}
+    resolved = {name: resolve_workload(name) for name in sweep_settings.workloads}
     payloads = []
     for request in series:
         for name in sweep_settings.workloads:
-            payloads.append(cell_payload(
-                request.preset, resolved[name], banked=request.banked,
-                load_ports=request.load_ports,
-                warmup_uops=sweep_settings.warmup_uops,
-                measure_uops=sweep_settings.measure_uops,
-                functional_warmup_uops=sweep_settings.functional_warmup_uops,
-                seed=sweep_settings.seed))
+            payloads.append(
+                cell_payload(
+                    request.preset,
+                    resolved[name],
+                    banked=request.banked,
+                    load_ports=request.load_ports,
+                    warmup_uops=sweep_settings.warmup_uops,
+                    measure_uops=sweep_settings.measure_uops,
+                    functional_warmup_uops=sweep_settings.functional_warmup_uops,
+                    seed=sweep_settings.seed,
+                )
+            )
     committed = 0
     cycles = 0
     start = time.perf_counter()
     for payload in payloads:
-        stats = SimStats.from_dict(
-            simulate_payload(payload, phase_profile=profile))
+        stats = SimStats.from_dict(simulate_payload(payload, phase_profile=profile))
         committed += stats.committed_uops
         cycles += stats.cycles
     elapsed = time.perf_counter() - start
@@ -262,16 +284,14 @@ def _run_grid(sweep_settings: Settings, series,
     }
 
 
-def bench_headline(quick: bool,
-                   profile: Optional[PhaseProfile] = None) -> BenchResult:
+def bench_headline(quick: bool, profile: Optional[PhaseProfile] = None) -> BenchResult:
     """The Figure-8 grid — the sweep behind every headline number."""
     settings = _settings(quick)
     metrics = _run_grid(settings, fig8_sweep().series, profile)
     return _finish("headline", metrics, settings, quick, profile)
 
 
-def bench_table2(quick: bool,
-                 profile: Optional[PhaseProfile] = None) -> BenchResult:
+def bench_table2(quick: bool, profile: Optional[PhaseProfile] = None) -> BenchResult:
     """Baseline_0 across the workload set (no replay machinery)."""
     from repro.experiments.figures import BASELINE
 
@@ -280,8 +300,7 @@ def bench_table2(quick: bool,
     return _finish("table2", metrics, settings, quick, profile)
 
 
-def bench_trace(quick: bool,
-                profile: Optional[PhaseProfile] = None) -> BenchResult:
+def bench_trace(quick: bool, profile: Optional[PhaseProfile] = None) -> BenchResult:
     """Binary-trace capture + replay-decode throughput."""
     settings = _settings(quick)
     uops = TRACE_BENCH_UOPS_QUICK if quick else TRACE_BENCH_UOPS
@@ -301,8 +320,7 @@ def bench_trace(quick: bool,
     gc.disable()
     try:
         start = time.perf_counter()
-        info = capture(workload.build_trace(settings.seed), path, uops,
-                       wp_seed=settings.seed)
+        info = capture(workload.build_trace(settings.seed), path, uops, wp_seed=settings.seed)
         record_elapsed = time.perf_counter() - start
         # Decode through FileTrace.next_uop — the exact replay path that
         # feeds the frontend (batched frame decode), so the gated metric
@@ -316,8 +334,7 @@ def bench_trace(quick: bool,
             decoded = 0
             while replay.next_uop() is not None:
                 decoded += 1
-            decode_elapsed = min(decode_elapsed,
-                                 time.perf_counter() - start)
+            decode_elapsed = min(decode_elapsed, time.perf_counter() - start)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -326,10 +343,8 @@ def bench_trace(quick: bool,
         except OSError:
             pass
     metrics = {
-        "record_uops_per_sec": (info.uop_count / record_elapsed
-                                if record_elapsed else 0.0),
-        "replay_uops_per_sec": (decoded / decode_elapsed
-                                if decode_elapsed else 0.0),
+        "record_uops_per_sec": (info.uop_count / record_elapsed if record_elapsed else 0.0),
+        "replay_uops_per_sec": (decoded / decode_elapsed if decode_elapsed else 0.0),
         "wall_seconds": record_elapsed + decode_elapsed,
         "uops": float(info.uop_count),
         "file_bytes": float(info.file_bytes),
@@ -337,8 +352,7 @@ def bench_trace(quick: bool,
     return _finish("trace", metrics, settings, quick, profile)
 
 
-def bench_sampling(quick: bool,
-                   profile: Optional[PhaseProfile] = None) -> BenchResult:
+def bench_sampling(quick: bool, profile: Optional[PhaseProfile] = None) -> BenchResult:
     """Sampled vs full-detailed throughput on the headline grid.
 
     For each (preset, Table-2 workload) cell the same stream span is
@@ -355,19 +369,23 @@ def bench_sampling(quick: bool,
     if quick:
         presets = SAMPLING_PRESETS_QUICK
         workloads = SAMPLING_WORKLOADS_QUICK
-        spec = SamplingSpec(intervals=6, interval_uops=1_000,
-                            warmup_uops=250, period_uops=5_000,
-                            offset_uops=10_000)
+        spec = SamplingSpec(
+            intervals=6, interval_uops=1_000, warmup_uops=250, period_uops=5_000, offset_uops=10_000
+        )
     else:
         # A ~320k-µop span per cell: long-trace territory, where the
         # linear-in-cycles detailed cost is what sampling exists to
         # break. 16 intervals keep phase aliasing (xalancbmk) inside
         # the error budget; tuning history in tests/checkpoint.
         presets = SAMPLING_PRESETS
-        workloads = QUICK_WORKLOADS       # the diverse Table-2 subset
-        spec = SamplingSpec(intervals=16, interval_uops=1_000,
-                            warmup_uops=300, period_uops=20_000,
-                            offset_uops=20_000)
+        workloads = QUICK_WORKLOADS  # the diverse Table-2 subset
+        spec = SamplingSpec(
+            intervals=16,
+            interval_uops=1_000,
+            warmup_uops=300,
+            period_uops=20_000,
+            offset_uops=20_000,
+        )
     resolved = {name: resolve_workload(name) for name in workloads}
     span = spec.span_uops
     detailed_wall = 0.0
@@ -376,27 +394,30 @@ def bench_sampling(quick: bool,
     for preset in presets:
         for name in workloads:
             payload = cell_payload(
-                preset, resolved[name], warmup_uops=spec.offset_uops,
+                preset,
+                resolved[name],
+                warmup_uops=spec.offset_uops,
                 measure_uops=span - spec.offset_uops,
-                functional_warmup_uops=0, seed=settings.seed)
+                functional_warmup_uops=0,
+                seed=settings.seed,
+            )
             start = time.perf_counter()
-            detailed = SimStats.from_dict(
-                simulate_payload(payload, phase_profile=profile))
+            detailed = SimStats.from_dict(simulate_payload(payload, phase_profile=profile))
             detailed_wall += time.perf_counter() - start
             start = time.perf_counter()
-            sampled = run_sampled_chained(resolved[name], preset, spec,
-                                          seed=settings.seed)
+            sampled = run_sampled_chained(resolved[name], preset, spec, seed=settings.seed)
             sampled_wall += time.perf_counter() - start
             if detailed.ipc:
-                errors.append(abs(sampled.mean_ipc - detailed.ipc)
-                              / detailed.ipc)
+                errors.append(abs(sampled.mean_ipc - detailed.ipc) / detailed.ipc)
     # Provenance records what actually ran (the sampled grid), not the
     # REPRO_* sweep volumes this benchmark ignores.
-    settings = Settings(workloads=tuple(workloads),
-                        warmup_uops=spec.warmup_uops,
-                        measure_uops=spec.interval_uops,
-                        functional_warmup_uops=spec.offset_uops,
-                        seed=settings.seed)
+    settings = Settings(
+        workloads=tuple(workloads),
+        warmup_uops=spec.warmup_uops,
+        measure_uops=spec.interval_uops,
+        functional_warmup_uops=spec.offset_uops,
+        seed=settings.seed,
+    )
     cells = float(len(presets) * len(workloads))
     metrics = {
         "speedup": detailed_wall / sampled_wall if sampled_wall else 0.0,
@@ -408,16 +429,13 @@ def bench_sampling(quick: bool,
         "cells": cells,
         "span_uops": float(span),
         "detailed_uops_per_interval_cell": float(spec.detailed_uops),
-        "detailed_uops_per_sec": (cells * span / detailed_wall
-                                  if detailed_wall else 0.0),
-        "sampled_span_uops_per_sec": (cells * span / sampled_wall
-                                      if sampled_wall else 0.0),
+        "detailed_uops_per_sec": (cells * span / detailed_wall if detailed_wall else 0.0),
+        "sampled_span_uops_per_sec": (cells * span / sampled_wall if sampled_wall else 0.0),
     }
     return _finish("sampling", metrics, settings, quick, profile)
 
 
-def bench_telemetry(quick: bool,
-                    profile: Optional[PhaseProfile] = None) -> BenchResult:
+def bench_telemetry(quick: bool, profile: Optional[PhaseProfile] = None) -> BenchResult:
     """Telemetry cost: the same cells with event recording off and on.
 
     The events-off pass runs the plain stage classes — the telemetry
@@ -454,8 +472,7 @@ def bench_telemetry(quick: bool,
         on_wall = 0.0
         for payload in payloads:
             start = time.perf_counter()
-            stats = SimStats.from_dict(
-                simulate_payload(payload, phase_profile=profile))
+            stats = SimStats.from_dict(simulate_payload(payload, phase_profile=profile))
             off_wall += time.perf_counter() - start
             committed += stats.committed_uops
             collector = MetricsCollector(EventBus())
@@ -476,16 +493,111 @@ def bench_telemetry(quick: bool,
         "cells": float(len(payloads)),
         "committed_uops": float(committed),
     }
-    settings = Settings(workloads=tuple(workloads),
-                        warmup_uops=settings.warmup_uops,
-                        measure_uops=settings.measure_uops,
-                        functional_warmup_uops=settings.functional_warmup_uops,
-                        seed=settings.seed)
+    settings = Settings(
+        workloads=tuple(workloads),
+        warmup_uops=settings.warmup_uops,
+        measure_uops=settings.measure_uops,
+        functional_warmup_uops=settings.functional_warmup_uops,
+        seed=settings.seed,
+    )
     return _finish("telemetry", metrics, settings, quick, profile)
 
 
-def _finish(name: str, metrics: Dict[str, float], settings: Settings,
-            quick: bool, profile: Optional[PhaseProfile]) -> BenchResult:
+def bench_warming(quick: bool, profile: Optional[PhaseProfile] = None) -> BenchResult:
+    """Scalar vs vectorized functional warming on recorded traces.
+
+    For each (preset, workload) cell one recorded trace of the warming
+    span is replayed twice through :meth:`Simulator.fast_forward` — once
+    per warming tier — on a fresh simulator each time. Each tier is
+    timed best-of-two (fresh simulator per pass; the first pass absorbs
+    cold numpy dispatch), and the final machine state of each tier is
+    checkpointed so the digests can be compared: the speedup is only
+    admissible while ``digest_mismatches`` is zero, which the CI gate
+    enforces as an absolute ceiling. Requires numpy (the vectorized
+    tier refuses to resolve without it).
+    """
+    from repro.checkpoint.format import checkpoint_digest, save_checkpoint
+    from repro.core.presets import make_config
+    from repro.pipeline.cpu import Simulator
+    from repro.pipeline.warming import resolve_mode
+
+    resolve_mode("vectorized")  # fail fast when numpy is missing
+    settings = _settings(quick)
+    presets = WARMING_PRESETS_QUICK if quick else WARMING_PRESETS
+    workloads = (WARMING_WORKLOADS_QUICK if quick else QUICK_WORKLOADS)
+    span = WARMING_SPAN_UOPS
+    resolved = {name: resolve_workload(name) for name in workloads}
+
+    walls = {"scalar": 0.0, "vectorized": 0.0}
+    mismatches = 0
+    cells = 0
+    # Same GC discipline as bench_trace: a collection landing inside a
+    # timed pass would swing the gated speedup by itself.
+    import gc
+
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    with tempfile.TemporaryDirectory() as tmp:
+        try:
+            for name in workloads:
+                trace_path = os.path.join(tmp, f"{name}.trc")
+                capture(
+                    resolved[name].build_trace(settings.seed),
+                    trace_path,
+                    span,
+                    wp_seed=settings.seed,
+                )
+                for preset in presets:
+                    cells += 1
+                    digests = {}
+                    for mode in ("scalar", "vectorized"):
+                        best = float("inf")
+                        for _ in range(2):
+                            sim = Simulator(make_config(preset), FileTrace(trace_path))
+                            start = time.perf_counter()
+                            sim.fast_forward(span, mode=mode)
+                            best = min(best, time.perf_counter() - start)
+                        walls[mode] += best
+                        ckpt = os.path.join(tmp, f"{mode}.ckpt")
+                        save_checkpoint(sim, ckpt)
+                        digests[mode] = checkpoint_digest(ckpt)
+                    if digests["scalar"] != digests["vectorized"]:
+                        mismatches += 1
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    scalar_wall = walls["scalar"]
+    vectorized_wall = walls["vectorized"]
+    total_uops = float(cells * span)
+    metrics = {
+        "speedup": (scalar_wall / vectorized_wall if vectorized_wall else 0.0),
+        "digest_mismatches": float(mismatches),
+        "scalar_uops_per_sec": (total_uops / scalar_wall if scalar_wall else 0.0),
+        "vectorized_uops_per_sec": (total_uops / vectorized_wall if vectorized_wall else 0.0),
+        "scalar_wall_seconds": scalar_wall,
+        "vectorized_wall_seconds": vectorized_wall,
+        "wall_seconds": scalar_wall + vectorized_wall,
+        "cells": float(cells),
+        "span_uops": float(span),
+    }
+    settings = Settings(
+        workloads=tuple(workloads),
+        warmup_uops=0,
+        measure_uops=0,
+        functional_warmup_uops=span,
+        seed=settings.seed,
+    )
+    return _finish("warming", metrics, settings, quick, profile)
+
+
+def _finish(
+    name: str,
+    metrics: Dict[str, float],
+    settings: Settings,
+    quick: bool,
+    profile: Optional[PhaseProfile],
+) -> BenchResult:
     return BenchResult(
         name=name,
         metrics=metrics,
@@ -503,11 +615,11 @@ BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
     "trace": bench_trace,
     "sampling": bench_sampling,
     "telemetry": bench_telemetry,
+    "warming": bench_warming,
 }
 
 
-def run_benchmark(name: str, quick: bool = False,
-                  profile: bool = False) -> BenchResult:
+def run_benchmark(name: str, quick: bool = False, profile: bool = False) -> BenchResult:
     """Run one benchmark by name (KeyError on unknown names)."""
     if name not in BENCHMARKS:
         raise KeyError(

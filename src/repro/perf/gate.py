@@ -64,8 +64,7 @@ GATE_SPECS: Dict[str, Tuple[GateSpec, ...]] = {
         # And the accuracy that makes the speedup honest: sampled IPC
         # within 2% of the detailed run, as an absolute floor on quality
         # (ROADMAP: sampling accuracy gate).
-        GateSpec("mean_ipc_rel_err", direction=LOWER, normalize=False,
-                 ceiling=0.02),
+        GateSpec("mean_ipc_rel_err", direction=LOWER, normalize=False, ceiling=0.02),
     ),
     "telemetry": (
         # Events-off throughput: building with the telemetry seams in
@@ -73,21 +72,29 @@ GATE_SPECS: Dict[str, Tuple[GateSpec, ...]] = {
         GateSpec("events_off_uops_per_sec"),
         # Events-on cost, as a same-machine wall ratio: recording every
         # pipeline event may cost at most 2x.
-        GateSpec("overhead_ratio", direction=LOWER, normalize=False,
-                 ceiling=2.0),
+        GateSpec("overhead_ratio", direction=LOWER, normalize=False, ceiling=2.0),
+    ),
+    "warming": (
+        # Scalar-vs-vectorized wall ratio on the warming span: a
+        # regression here means the vectorized tier lost its reason to
+        # exist, whatever the machine.
+        GateSpec("speedup", normalize=False),
+        # The equality that makes the speedup admissible: every cell's
+        # vectorized checkpoint digest must equal the scalar one.
+        # Ceiling 0 — a mismatch can never be ratified by committing it.
+        GateSpec("digest_mismatches", direction=LOWER, normalize=False, ceiling=0.0),
     ),
 }
 
 #: Benchmark -> primary gated metric (back-compat view of
 #: :data:`GATE_SPECS`; the CLI's headline-number lookup).
-GATED_METRICS: Dict[str, str] = {
-    name: specs[0].metric for name, specs in GATE_SPECS.items()}
+GATED_METRICS: Dict[str, str] = {name: specs[0].metric for name, specs in GATE_SPECS.items()}
 
 #: Metrics that are machine-neutral ratios (see module docstring) —
 #: derived from :data:`GATE_SPECS`, kept as a set for introspection.
 RATIO_METRICS = frozenset(
-    spec.metric for specs in GATE_SPECS.values()
-    for spec in specs if not spec.normalize)
+    spec.metric for specs in GATE_SPECS.values() for spec in specs if not spec.normalize
+)
 
 
 @dataclass(frozen=True)
@@ -96,19 +103,23 @@ class GateFailure:
 
     benchmark: str
     metric: str
-    baseline: float           # normalized baseline value
-    current: float            # normalized current value
-    ratio: float              # goodness ratio (1.0 = exactly baseline)
-    limit: float              # minimum acceptable goodness ratio
-    absolute: bool = False    # tripped the absolute ceiling, not the ratio
+    baseline: float  # normalized baseline value
+    current: float  # normalized current value
+    ratio: float  # goodness ratio (1.0 = exactly baseline)
+    limit: float  # minimum acceptable goodness ratio
+    absolute: bool = False  # tripped the absolute ceiling, not the ratio
 
     def __str__(self) -> str:
         if self.absolute:
-            return (f"{self.benchmark}: {self.metric} at {self.current:.4f} "
-                    f"exceeds the absolute ceiling {self.limit:.4f}")
-        return (f"{self.benchmark}: {self.metric} at {self.ratio:.2f}x of "
-                f"baseline (limit {self.limit:.2f}x) — "
-                f"normalized {self.current:.4g} vs {self.baseline:.4g}")
+            return (
+                f"{self.benchmark}: {self.metric} at {self.current:.4f} "
+                f"exceeds the absolute ceiling {self.limit:.4f}"
+            )
+        return (
+            f"{self.benchmark}: {self.metric} at {self.ratio:.2f}x of "
+            f"baseline (limit {self.limit:.2f}x) — "
+            f"normalized {self.current:.4g} vs {self.baseline:.4g}"
+        )
 
 
 def _normalized(result: BenchResult, spec: GateSpec) -> float:
@@ -119,19 +130,26 @@ def _normalized(result: BenchResult, spec: GateSpec) -> float:
     return value / calibration if calibration > 0 else value
 
 
-def _check_metric(current: BenchResult, baseline: BenchResult,
-                  spec: GateSpec, max_regression: float
-                  ) -> List[GateFailure]:
+def _check_metric(
+    current: BenchResult, baseline: BenchResult, spec: GateSpec, max_regression: float
+) -> List[GateFailure]:
     cur_value = _normalized(current, spec)
     failures: List[GateFailure] = []
     if spec.ceiling is not None and cur_value > spec.ceiling:
-        failures.append(GateFailure(
-            benchmark=current.name, metric=spec.metric,
-            baseline=_normalized(baseline, spec), current=cur_value,
-            ratio=0.0, limit=spec.ceiling, absolute=True))
+        failures.append(
+            GateFailure(
+                benchmark=current.name,
+                metric=spec.metric,
+                baseline=_normalized(baseline, spec),
+                current=cur_value,
+                ratio=0.0,
+                limit=spec.ceiling,
+                absolute=True,
+            )
+        )
     base_value = _normalized(baseline, spec)
     if base_value <= 0.0:
-        return failures     # no baseline to gate the ratio against
+        return failures  # no baseline to gate the ratio against
     # Goodness ratio: > 1 improved, < 1 regressed — whichever way the
     # metric points.
     if spec.direction == LOWER:
@@ -140,15 +158,22 @@ def _check_metric(current: BenchResult, baseline: BenchResult,
         ratio = cur_value / base_value
     limit = 1.0 - max_regression
     if ratio < limit:
-        failures.append(GateFailure(
-            benchmark=current.name, metric=spec.metric,
-            baseline=base_value, current=cur_value,
-            ratio=ratio, limit=limit))
+        failures.append(
+            GateFailure(
+                benchmark=current.name,
+                metric=spec.metric,
+                baseline=base_value,
+                current=cur_value,
+                ratio=ratio,
+                limit=limit,
+            )
+        )
     return failures
 
 
-def check_regression(current: BenchResult, baseline: BenchResult,
-                     max_regression: float = 0.2) -> List[GateFailure]:
+def check_regression(
+    current: BenchResult, baseline: BenchResult, max_regression: float = 0.2
+) -> List[GateFailure]:
     """Empty list when every gated metric of ``current`` is within
     ``max_regression`` of ``baseline`` (and under its absolute ceiling,
     where one is declared)."""
@@ -164,8 +189,7 @@ def check_regression(current: BenchResult, baseline: BenchResult,
     specs = GATE_SPECS.get(current.name, (GateSpec("uops_per_sec"),))
     failures: List[GateFailure] = []
     for spec in specs:
-        failures.extend(
-            _check_metric(current, baseline, spec, max_regression))
+        failures.extend(_check_metric(current, baseline, spec, max_regression))
     return failures
 
 
@@ -175,9 +199,10 @@ def check_regression(current: BenchResult, baseline: BenchResult,
 
 def write_baseline(results: Dict[str, BenchResult], path) -> Path:
     path = Path(path)
-    payload = {"schema": BENCH_SCHEMA,
-               "results": {name: result.to_dict()
-                           for name, result in results.items()}}
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "results": {name: result.to_dict() for name, result in results.items()},
+    }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -188,13 +213,10 @@ def read_baseline(path) -> Dict[str, BenchResult]:
         data = json.loads(path.read_text())
     except ValueError as exc:
         raise ValueError(f"{path}: not valid JSON ({exc})") from exc
-    if not isinstance(data, dict) or not isinstance(
-            data.get("results"), dict):
-        raise ValueError(f"{path}: not a baseline file "
-                         f"(expected an object with 'results')")
+    if not isinstance(data, dict) or not isinstance(data.get("results"), dict):
+        raise ValueError(f"{path}: not a baseline file " f"(expected an object with 'results')")
     if data.get("schema") != BENCH_SCHEMA:
         raise ValueError(
-            f"{path}: baseline schema {data.get('schema')} (this build "
-            f"reads {BENCH_SCHEMA})")
-    return {name: BenchResult.from_dict(entry)
-            for name, entry in data["results"].items()}
+            f"{path}: baseline schema {data.get('schema')} (this build " f"reads {BENCH_SCHEMA})"
+        )
+    return {name: BenchResult.from_dict(entry) for name, entry in data["results"].items()}

@@ -69,13 +69,13 @@ class PhaseProfile:
         total = self.total_seconds
         if total <= 0.0:
             return {phase: 0.0 for phase in self.seconds}
-        return {phase: seconds / total
-                for phase, seconds in self.seconds.items()}
+        return {phase: seconds / total for phase, seconds in self.seconds.items()}
 
     def as_dict(self) -> Dict[str, float]:
         """JSON-ready flat view (seconds per phase + counters)."""
-        out: Dict[str, float] = {f"{phase}_seconds": seconds
-                                 for phase, seconds in self.seconds.items()}
+        out: Dict[str, float] = {
+            f"{phase}_seconds": seconds for phase, seconds in self.seconds.items()
+        }
         out["cycles"] = self.cycles
         out["replay_storms"] = self.replay_storms
         out["uops_committed"] = self.uops_committed
@@ -88,9 +88,10 @@ class PhaseProfile:
         # Custom stage names (telemetry_occupancy, ...) run longer than
         # the built-in phases; keep the columns aligned for any mix.
         width = max(10, *(len(phase) for phase in self.seconds))
-        lines = [f"  {phase:{width}s} {seconds:8.3f}s  "
-                 f"{fractions[phase]:6.1%}"
-                 for phase, seconds in rows]
+        lines = [
+            f"  {phase:{width}s} {seconds:8.3f}s  " f"{fractions[phase]:6.1%}"
+            for phase, seconds in rows
+        ]
         lines.append(f"  {'cycles':{width}s} {self.cycles}")
         lines.append(f"  {'storms':{width}s} {self.replay_storms}")
         return "\n".join(lines)

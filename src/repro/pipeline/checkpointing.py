@@ -61,10 +61,8 @@ def machine_state_dict(sim) -> Dict:
     }
     for key, attr, takes_ctx in COMPONENT_REGISTRY:
         component = getattr(sim, attr)
-        state[key] = (component.state_dict(ctx) if takes_ctx
-                      else component.state_dict())
-    stage_states = {stage.name: blob for stage in sim.stages
-                    if (blob := stage.state_dict(ctx))}
+        state[key] = (component.state_dict(ctx) if takes_ctx else component.state_dict())
+    stage_states = {stage.name: blob for stage in sim.stages if (blob := stage.state_dict(ctx))}
     if stage_states:
         state["stages"] = stage_states
     # Encode the µop table last: serializing components (and then the
@@ -79,15 +77,16 @@ def load_machine_state_dict(sim, state: Dict) -> None:
     if state.get("version") != sim.STATE_VERSION:
         raise ValueError(
             f"checkpoint state version {state.get('version')} "
-            f"(this build reads {sim.STATE_VERSION})")
+            f"(this build reads {sim.STATE_VERSION})"
+        )
     # Validate before mutating anything: a half-restored simulator that
     # survives a caught exception would silently produce wrong results.
     stage_states = dict(state.get("stages", ()))
     unknown = set(stage_states) - {stage.name for stage in sim.stages}
     if unknown:
         raise ValueError(
-            f"checkpoint carries state for unknown stage(s): "
-            f"{', '.join(sorted(unknown))}")
+            f"checkpoint carries state for unknown stage(s): " f"{', '.join(sorted(unknown))}"
+        )
     ctx = UopDecoder(state["uops"], state.get("uop_slots"))
     sim.now = state["now"]
     sim.issue_block.load_state_dict(state["issue_block_cycle"])

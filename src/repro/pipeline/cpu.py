@@ -29,7 +29,7 @@ from repro.frontend.fetch import FetchStage
 from repro.isa.trace import TraceSource
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline import checkpointing
-from repro.pipeline.functional import functional_stream
+from repro.pipeline.warming import warm_stream
 from repro.pipeline.ports import DelayQueue, Port, Wire
 from repro.pipeline.stages import build_stages
 from repro.pipeline.stages.base import SimulationError, Stage
@@ -46,10 +46,16 @@ class Simulator:
     #: Bumped when the simulator-level state layout changes.
     STATE_VERSION = 1
 
-    def __init__(self, config: SimConfig, trace: TraceSource,
-                 stats: Optional[SimStats] = None, phase_profile=None,
-                 stage_overrides=None, extra_stages=(),
-                 event_bus=None) -> None:
+    def __init__(
+        self,
+        config: SimConfig,
+        trace: TraceSource,
+        stats: Optional[SimStats] = None,
+        phase_profile=None,
+        stage_overrides=None,
+        extra_stages=(),
+        event_bus=None,
+    ) -> None:
         """Build the structures, then wire the stage list over them
         (see :func:`repro.pipeline.stages.build_stages`).
 
@@ -74,17 +80,14 @@ class Simulator:
         self.fetch = FetchStage(trace, self.branch_unit, core, self.stats)
         self.renamer = RegisterRenamer(core)
         self.ready_port = Port("ready", payload="MicroOp")
-        self.scoreboard = Scoreboard(core.int_prf + core.fp_prf,
-                                     on_ready=self.ready_port.send)
+        self.scoreboard = Scoreboard(core.int_prf + core.fp_prf, on_ready=self.ready_port.send)
         self.rob = ReorderBuffer(core.rob_entries)
         self.iq = IssueQueue(core.iq_entries)
-        self.lsq = LoadStoreQueue(core.lq_entries, core.sq_entries,
-                                  on_ready=self.ready_port.send)
+        self.lsq = LoadStoreQueue(core.lq_entries, core.sq_entries, on_ready=self.ready_port.send)
         self.fus = FuPool(core)
         self.recovery = RecoveryBuffer()
         self.replay = ReplayController(self.delay)
-        self.store_sets = StoreSets(core.store_set_ssid_entries,
-                                    core.store_set_lfst_entries)
+        self.store_sets = StoreSets(core.store_set_ssid_entries, core.store_set_lfst_entries)
         self.policy = build_policy(config.sched, self.load_to_use, self.stats)
 
         # Inter-stage latches and wires (see docs/ARCHITECTURE.md).
@@ -122,36 +125,38 @@ class Simulator:
         """True when the trace is drained and the ROB is empty."""
         return self.fetch.done and self.rob.empty
 
-    def run(self, max_uops: Optional[int] = None,
-            max_cycles: Optional[int] = None) -> SimStats:
+    def run(self, max_uops: Optional[int] = None, max_cycles: Optional[int] = None) -> SimStats:
         """Simulate until done / ``max_uops`` committed / ``max_cycles``."""
         stats = self.stats
         step = self.step
         uop_budget = float("inf") if max_uops is None else max_uops
         cycle_budget = float("inf") if max_cycles is None else max_cycles
-        while (not self.done and stats.committed_uops < uop_budget
-               and stats.cycles < cycle_budget):
+        while (not self.done and stats.committed_uops < uop_budget and stats.cycles < cycle_budget):
             step()
         return stats
 
-    def run_with_warmup(self, warmup_uops: int, measure_uops: int,
-                        max_cycles: Optional[int] = None) -> SimStats:
+    def run_with_warmup(
+        self, warmup_uops: int, measure_uops: int, max_cycles: Optional[int] = None
+    ) -> SimStats:
         """Warm structures, then measure: returns warmed-region deltas."""
         self.run(max_uops=warmup_uops, max_cycles=max_cycles)
         baseline = self.stats.copy()
         self.run(max_uops=warmup_uops + measure_uops, max_cycles=max_cycles)
         return self.stats.delta_since(baseline)
 
-    def functional_warmup(self, trace: TraceSource, uops: int) -> None:
+    def functional_warmup(self, trace: TraceSource, uops: int, mode: Optional[str] = None) -> None:
         """Timing-free cache/predictor warmup from a *separate* trace
-        instance (Section 3.2) — see :mod:`repro.pipeline.functional`."""
-        functional_stream(self, trace, uops)
+        instance (Section 3.2). ``mode`` picks the warming tier
+        (scalar/vectorized/auto — bit-identical state either way); see
+        :mod:`repro.pipeline.warming`."""
+        warm_stream(self, trace, uops, mode=mode)
 
-    def fast_forward(self, uops: int) -> int:
+    def fast_forward(self, uops: int, mode: Optional[str] = None) -> int:
         """Functionally consume ``uops`` from this simulator's *own* trace
         (cursor advances; the policy's hit/miss filter trains); returns
-        the count consumed — see :mod:`repro.pipeline.functional`."""
-        return functional_stream(self, self.trace, uops, train_policy=True)
+        the count consumed. ``mode`` picks the warming tier — see
+        :mod:`repro.pipeline.warming`."""
+        return warm_stream(self, self.trace, uops, train_policy=True, mode=mode)
 
     def step(self) -> None:
         """Advance the machine one cycle: tick every stage in order."""
@@ -180,8 +185,7 @@ class Simulator:
             stage.tick(now)
             seconds[stage.name] = seconds.get(stage.name, 0.0) + perf_counter() - start
         profile.cycles += 1
-        profile.replay_storms += (stats.squash_events_miss + stats.squash_events_bank
-                                  - storms_before)
+        profile.replay_storms += stats.squash_events_miss + stats.squash_events_bank - storms_before
         stats.cycles += 1
         self.now = now + 1
         profile.uops_committed += stats.committed_uops - committed_before
@@ -191,7 +195,8 @@ class Simulator:
     def _raise_deadlock(self, now: int) -> None:
         raise SimulationError(
             f"no commit for {self.DEADLOCK_LIMIT} cycles at cycle {now}; "
-            f"ROB={len(self.rob)}, IQ={len(self.iq)}, recovery={len(self.recovery)}")
+            f"ROB={len(self.rob)}, IQ={len(self.iq)}, recovery={len(self.recovery)}"
+        )
 
     # -- state protocol (repro.checkpoint) --------------------------------
 
@@ -209,6 +214,10 @@ class Simulator:
 
     def occupancy(self) -> Dict[str, int]:
         """Current ROB/IQ/recovery/LQ/SQ occupancies."""
-        return {"rob": len(self.rob), "iq": len(self.iq),
-                "recovery": len(self.recovery),
-                "lq": len(self.lsq.loads), "sq": len(self.lsq.stores)}
+        return {
+            "rob": len(self.rob),
+            "iq": len(self.iq),
+            "recovery": len(self.recovery),
+            "lq": len(self.lsq.loads),
+            "sq": len(self.lsq.stores),
+        }

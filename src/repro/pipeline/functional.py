@@ -1,8 +1,9 @@
-"""Functional (timing-free) µop streaming: warmup and fast-forward.
+"""Functional (timing-free) µop streaming: the scalar warming tier.
 
 The OoO backend is bypassed entirely: the stream touches caches and
 branch predictors only, which is why throughput sits an order of
-magnitude above detailed simulation. Two callers share this body:
+magnitude above detailed simulation. Two callers reach this body via
+the tier dispatcher (:func:`repro.pipeline.warming.warm_stream`):
 
 * :meth:`Simulator.functional_warmup` — the paper's 50M-instruction
   warmup analogue, run on a *separate* trace instance (golden-locked
@@ -11,8 +12,14 @@ magnitude above detailed simulation. Two callers share this body:
   the simulator's *own* trace (advances the cursor), additionally
   training the scheduling policy's per-PC hit/miss filter.
 
-This loop IS the sampling mode's throughput bound, hence the inlining
-against the cache internals below.
+This per-µop loop is the **semantic reference** for functional
+warming: the vectorized tier (:mod:`repro.pipeline.warming.engine`)
+must leave every component bit-identical to what this loop produces,
+and the equivalence suite under ``tests/warming/`` enforces that
+contract. Keep any state-effect change here mirrored there.
+
+This loop bounds sampling-mode throughput when numpy is unavailable,
+hence the inlining against the cache internals below.
 """
 
 from __future__ import annotations
@@ -20,8 +27,7 @@ from __future__ import annotations
 from repro.isa.trace import TraceSource
 
 
-def functional_stream(sim, trace: TraceSource, uops: int,
-                      train_policy: bool = False) -> int:
+def functional_stream(sim, trace: TraceSource, uops: int, train_policy: bool = False) -> int:
     """Stream ``uops`` µops of ``trace`` through ``sim``'s caches and
     branch predictors without timing; returns the count actually
     consumed (short when the trace exhausts).
@@ -69,7 +75,7 @@ def functional_stream(sim, trace: TraceSource, uops: int,
                 # per-PC filter on it before the line is installed.
                 uop.l1_hit = l1_tag in l1_set
                 on_load_commit(uop)
-            if l1_tag in l1_set:          # fill() hit path: LRU touch
+            if l1_tag in l1_set:  # fill() hit path: LRU touch
                 l1d._stamp += 1
                 l1_set[l1_tag] = l1d._stamp
             else:
@@ -77,7 +83,7 @@ def functional_stream(sim, trace: TraceSource, uops: int,
             l2_line = addr >> l2_offset
             l2_set = l2_sets[l2_line & l2_mask]
             l2_tag = l2_line >> l2_set_bits
-            if l2_tag in l2_set:          # probe hit: fill() = touch
+            if l2_tag in l2_set:  # probe hit: fill() = touch
                 l2._stamp += 1
                 l2_set[l2_tag] = l2._stamp
             else:

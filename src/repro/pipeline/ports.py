@@ -88,8 +88,7 @@ class Port:
         """Deliver ``value`` to the consumer, same cycle."""
         sink = self._sink
         if sink is None:
-            raise PortError(
-                f"port {self.name!r} fired before wiring completed")
+            raise PortError(f"port {self.name!r} fired before wiring completed")
         sink(value)
 
 
@@ -170,14 +169,14 @@ class DelayQueue:
 
     def state_dict(self, ctx) -> List[Tuple[int, List[Tuple[int, int]]]]:
         """Encode as ``[(cycle, [(µop ref, issue_id), ...]), ...]``."""
-        return [(cycle, [(ctx.ref(uop), issue_id)
-                         for uop, issue_id in entries])
-                for cycle, entries in self.slots.items()]
+        return [
+            (cycle, [(ctx.ref(uop), issue_id) for uop, issue_id in entries])
+            for cycle, entries in self.slots.items()
+        ]
 
     def load_state_dict(self, state, ctx) -> None:
         """Restore a :meth:`state_dict` encoding (in place: bound
         ``slots`` references stay valid)."""
         self.slots.clear()
         for cycle, entries in state:
-            self.slots[cycle] = [(ctx.uop(ref), issue_id)
-                                 for ref, issue_id in entries]
+            self.slots[cycle] = [(ctx.uop(ref), issue_id) for ref, issue_id in entries]

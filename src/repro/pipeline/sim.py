@@ -71,8 +71,13 @@ def build_payload(
         # their own.
         seed = int(getattr(spec, "seed", 0) or 0)
     payload = base_cell_payload(
-        config, spec, warmup_uops=warmup_uops, measure_uops=measure_uops,
-        functional_warmup_uops=functional_warmup_uops, seed=seed)
+        config,
+        spec,
+        warmup_uops=warmup_uops,
+        measure_uops=measure_uops,
+        functional_warmup_uops=functional_warmup_uops,
+        seed=seed,
+    )
     if max_cycles is not None:
         payload["max_cycles"] = max_cycles
     if checkpoint is not None:
@@ -110,14 +115,18 @@ def run_workload(
     from repro.experiments.engine import simulate_payload
 
     payload, spec, config = build_payload(
-        workload, config, warmup_uops=warmup_uops,
-        measure_uops=measure_uops, seed=seed, banked=banked,
+        workload,
+        config,
+        warmup_uops=warmup_uops,
+        measure_uops=measure_uops,
+        seed=seed,
+        banked=banked,
         max_cycles=max_cycles,
         functional_warmup_uops=functional_warmup_uops,
-        checkpoint=checkpoint)
+        checkpoint=checkpoint,
+    )
     stats = SimStats.from_dict(simulate_payload(payload, collector=collector))
-    return RunResult(workload=spec.name, config_name=config.name,
-                     stats=stats)
+    return RunResult(workload=spec.name, config_name=config.name, stats=stats)
 
 
 def run_config(

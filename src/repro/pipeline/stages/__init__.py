@@ -71,9 +71,9 @@ DEFAULT_STAGES: Dict[str, Type[Stage]] = {
 }
 
 
-def build_stages(sim,
-                 overrides: Optional[Dict[str, Type[Stage]]] = None,
-                 extra: Iterable[Type[Stage]] = ()) -> Tuple[Stage, ...]:
+def build_stages(
+    sim, overrides: Optional[Dict[str, Type[Stage]]] = None, extra: Iterable[Type[Stage]] = ()
+) -> Tuple[Stage, ...]:
     """Instantiate and wire the machine's stage list for ``sim``.
 
     ``overrides`` maps tick-order names to replacement classes (the
@@ -89,7 +89,8 @@ def build_stages(sim,
         if unknown:
             raise ValueError(
                 f"unknown stage override(s) {', '.join(unknown)}; "
-                f"tick order is {', '.join(TICK_ORDER)}")
+                f"tick order is {', '.join(TICK_ORDER)}"
+            )
         classes.update(overrides)
     stages = [classes[name](sim) for name in TICK_ORDER]
     for stage_cls in extra:
@@ -101,8 +102,8 @@ def build_stages(sim,
         names = [s.name for s in stages]
         if anchor not in names:
             raise ValueError(
-                f"extra stage {stage.name!r} anchors after unknown "
-                f"stage {anchor!r}")
+                f"extra stage {stage.name!r} anchors after unknown " f"stage {anchor!r}"
+            )
         stages.insert(names.index(anchor) + 1, stage)
     names = [s.name for s in stages]
     if len(set(names)) != len(names):

@@ -42,8 +42,7 @@ class Commit(Stage):
             if head is None or not head.completed:
                 break
             if head.wrong_path:
-                raise SimulationError(
-                    f"wrong-path µop reached ROB head: {head!r}")
+                raise SimulationError(f"wrong-path µop reached ROB head: {head!r}")
             rob.retire_head()
             self._retire(head, now)
             retired += 1

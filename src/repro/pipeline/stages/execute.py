@@ -74,8 +74,7 @@ class Execute(Stage):
 
     def _execute_uop(self, uop: MicroOp, now: int) -> None:
         if not self.scoreboard.operands_data_valid(uop, now):
-            raise SimulationError(
-                f"µop executed with invalid operands at cycle {now}: {uop!r}")
+            raise SimulationError(f"µop executed with invalid operands at cycle {now}: {uop!r}")
         uop.executed = True
         if uop.is_load:
             self._execute_load(uop, now)
@@ -117,8 +116,7 @@ class Execute(Stage):
                 # two squash events under Schedule Shifting (Section 5.1,
                 # drawback 3).
                 detection = issue + self.delay + uop.promised_latency - 1
-                self.replay.schedule(
-                    ReplayEvent(uop, cause, alat), max(detection, now + 1))
+                self.replay.schedule(ReplayEvent(uop, cause, alat), max(detection, now + 1))
         elif uop.pdst >= 0:
             # Conservative: dependents cannot issue before the hit/miss
             # outcome is known (one cycle before data return, Section 1),
@@ -126,8 +124,7 @@ class Execute(Stage):
             # Misses resolve with the refill timing already known, so their
             # dependents issue at the corrected data-arrival point.
             wake = max(issue + alat, issue + self.delay + self.load_to_use)
-            self.scoreboard.broadcast(
-                uop.pdst, wake, issue + self.delay + 1 + alat)
+            self.scoreboard.broadcast(uop.pdst, wake, issue + self.delay + 1 + alat)
         self._schedule_completion(uop, uop.exec_start + alat - 1, now)
 
     def _execute_store(self, uop: MicroOp, now: int) -> None:
@@ -136,8 +133,7 @@ class Execute(Stage):
         self.store_sets.store_done(uop)
         self.lsq.store_executed_wakeups(uop)
         self._schedule_completion(uop, now, now)
-        if offender is not None and not uop.wrong_path \
-                and not offender.wrong_path:
+        if offender is not None and not uop.wrong_path and not offender.wrong_path:
             self.stats.memory_order_violations += 1
             self.store_sets.train_violation(uop.pc, offender.pc)
             self._violation_squash(offender, now)
@@ -145,7 +141,7 @@ class Execute(Stage):
     def _execute_branch(self, uop: MicroOp, now: int) -> None:
         self._schedule_completion(uop, now, now)
         if uop.wrong_path:
-            return      # wrong-path branches never redirect anything
+            return  # wrong-path branches never redirect anything
         self.stats.branches += 1
         mispredicted = self.branch_unit.resolve(uop)
         if mispredicted:
@@ -167,11 +163,10 @@ class Execute(Stage):
     # -- replay (the Alpha-style squash of Section 3.1) -------------------
 
     def _handle_replay(self, now: int) -> None:
-        events = [ev for ev in self.replay.pop_events(now)
-                  if not ev.load.dead]
+        events = [ev for ev in self.replay.pop_events(now) if not ev.load.dead]
         if not events:
             return
-        cause = events[0].cause            # oldest trigger attributes the event
+        cause = events[0].cause  # oldest trigger attributes the event
         doomed = self.replay.squashable_uops(now)
         for uop in doomed:
             uop.squashed = True
@@ -185,8 +180,8 @@ class Execute(Stage):
                 issue = load.issue_cycle
                 wake = max(issue + event.corrected_latency, now + 1)
                 self.scoreboard.broadcast(
-                    load.pdst, wake,
-                    issue + self.delay + 1 + event.corrected_latency)
+                    load.pdst, wake, issue + self.delay + 1 + event.corrected_latency
+                )
         self._rearm_waiting_uops()
         if doomed or self.delay > 0:
             # Handling the misspeculation blocks issue for a cycle even
@@ -216,7 +211,8 @@ class Execute(Stage):
         bounded by the IQ and the in-flight window.
         """
         waiting: List[MicroOp] = [
-            u for u in self.iq.occupants()
+            u
+            for u in self.iq.occupants()
             if not u.executed and (u.num_issues == 0 or u.replay_pending)
         ]
         waiting.extend(u for u in self.recovery.members() if u.replay_pending)
@@ -236,7 +232,7 @@ class Execute(Stage):
     # -- squashes (branch misprediction, memory-order violation) ----------
 
     def _branch_squash(self, branch: MicroOp, now: int) -> None:
-        doomed = self.rob.squash_younger(branch.seq)   # youngest first
+        doomed = self.rob.squash_younger(branch.seq)  # youngest first
         self._kill_uops(doomed)
         self.renamer.rollback(doomed)
         self.frontend.redirect(now)
@@ -246,14 +242,12 @@ class Execute(Stage):
         doomed = self.rob.squash_younger(offender.seq, inclusive=True)
         self._kill_uops(doomed)
         self.renamer.rollback(doomed)
-        refetch = [u.clone_arch() for u in reversed(doomed)
-                   if not u.wrong_path]
+        refetch = [u.clone_arch() for u in reversed(doomed) if not u.wrong_path]
         self.frontend.redirect(now)
         self.frontend.inject_refetch(refetch)
         self._note_squash("violation", offender, doomed, now)
 
-    def _note_squash(self, cause: str, trigger: MicroOp, doomed,
-                     now: int) -> None:
+    def _note_squash(self, cause: str, trigger: MicroOp, doomed, now: int) -> None:
         """Telemetry seam: a branch/violation squash cascade just ran
         (no-op here). ``trigger`` is the mispredicted branch or the
         offending load."""

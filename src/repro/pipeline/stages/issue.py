@@ -62,7 +62,7 @@ class Issue(Stage):
         if uop.dead or uop.executed:
             return
         if uop.num_issues > 0 and not uop.replay_pending:
-            return      # already in flight; nothing to wake
+            return  # already in flight; nothing to wake
         if uop.in_iq:
             self.iq.make_ready(uop)
         elif uop.replay_pending:
@@ -84,8 +84,7 @@ class Issue(Stage):
             if ready:
                 self._issue_from(ready, budget, now)
 
-    def _issue_from(self, candidates: List[MicroOp], budget: int,
-                    now: int) -> int:
+    def _issue_from(self, candidates: List[MicroOp], budget: int, now: int) -> int:
         for uop in list(candidates):
             if budget == 0:
                 break
@@ -134,8 +133,10 @@ class Issue(Stage):
                 stats.speculative_loads += 1
                 if uop.pdst >= 0:
                     self.scoreboard.broadcast(
-                        uop.pdst, now + decision.promised_latency,
-                        now + decision.promised_latency + self.delay + 1)
+                        uop.pdst,
+                        now + decision.promised_latency,
+                        now + decision.promised_latency + self.delay + 1,
+                    )
             else:
                 stats.conservative_loads += 1
                 if uop.pdst >= 0:
@@ -145,14 +146,13 @@ class Issue(Stage):
             uop.spec_woken = True
             uop.promised_latency = latency
             if uop.pdst >= 0:
-                self.scoreboard.broadcast(
-                    uop.pdst, now + latency, now + latency + self.delay + 1)
+                self.scoreboard.broadcast(uop.pdst, now + latency, now + latency + self.delay + 1)
 
         # Structure management.
         if uop.is_mem:
-            self.iq.remove_from_ready(uop)   # keeps its IQ entry
+            self.iq.remove_from_ready(uop)  # keeps its IQ entry
         elif uop.in_iq:
-            self.iq.release(uop)             # first issue: move to recovery
+            self.iq.release(uop)  # first issue: move to recovery
             self.recovery.insert(uop)
         elif was_replay:
             self.recovery.remove_from_ready(uop)

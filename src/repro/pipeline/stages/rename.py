@@ -48,10 +48,13 @@ class Rename(Stage):
             uop = fetch.peek(now)
             if uop is None:
                 return
-            if (rob.full or iq.full
-                    or not renamer.can_rename(uop)
-                    or (uop.is_load and lsq.lq_full())
-                    or (uop.is_store and lsq.sq_full())):
+            if (
+                rob.full
+                or iq.full
+                or not renamer.can_rename(uop)
+                or (uop.is_load and lsq.lq_full())
+                or (uop.is_store and lsq.sq_full())
+            ):
                 return
             fetch.pop()
             self._dispatch(uop, now)

@@ -70,6 +70,43 @@ RECORD = struct.Struct("<QQQhhhhBBH")
 
 _FLAG_TAKEN = 0x1
 
+#: Lazily-built numpy structured dtype mirroring :data:`RECORD` (see
+#: :func:`record_dtype`); None until first requested so this module
+#: keeps working without numpy installed.
+_RECORD_DTYPE = None
+
+
+def record_dtype():
+    """The numpy structured dtype of one :data:`RECORD` (lazy, cached).
+
+    Field-for-field mirror of the packed struct layout, so a frame's raw
+    bytes can be viewed with ``np.frombuffer`` — the vectorized warming
+    tier's zero-decode replay path. Raises ``ImportError`` when numpy is
+    unavailable (callers gate on the warming mode first).
+    """
+    global _RECORD_DTYPE
+    if _RECORD_DTYPE is None:
+        import numpy as np
+
+        dtype = np.dtype([
+            ("pc", "<u8"),
+            ("mem_addr", "<u8"),
+            ("target", "<u8"),
+            ("s0", "<i2"),
+            ("s1", "<i2"),
+            ("s2", "<i2"),
+            ("dst", "<i2"),
+            ("opclass", "u1"),
+            ("flags", "u1"),
+            ("mem_size", "<u2"),
+        ])
+        if dtype.itemsize != RECORD.size:
+            raise TraceFormatError(
+                f"record dtype is {dtype.itemsize} bytes; the packed "
+                f"record is {RECORD.size}")
+        _RECORD_DTYPE = dtype
+    return _RECORD_DTYPE
+
 #: Value -> OpClass member without the (slow) enum constructor — decode
 #: runs once per replayed µop, squarely on the replay hot path.
 _OPCLASS_BY_VALUE = tuple(OpClass(v) for v in range(len(OpClass)))
@@ -386,6 +423,10 @@ class FileTrace(TraceSource):
         self._synth = WrongPathSynth(self.info.wp_seed)
         self._frames = _iter_frames(self.path)
         self._batch: Deque[MicroOp] = deque()
+        # Raw record bytes handed back by next_record_block's partial
+        # consumption of a frame; next_uop decodes it on demand, so the
+        # two consumption shapes can interleave freely.
+        self._raw_tail = b""
         self.replayed = 0
 
     # -- TraceSource ---------------------------------------------------
@@ -393,6 +434,10 @@ class FileTrace(TraceSource):
     def next_uop(self) -> Optional[MicroOp]:
         batch = self._batch
         while not batch:
+            if self._raw_tail:
+                batch = self._batch = decode_frame(self._raw_tail)
+                self._raw_tail = b""
+                break
             frame = next(self._frames, None)
             if frame is None:
                 if not self._loop or not self.info.uop_count:
@@ -402,6 +447,44 @@ class FileTrace(TraceSource):
             batch = self._batch = decode_frame(frame)
         self.replayed += 1
         return batch.popleft()
+
+    def next_record_block(self, max_uops: int):
+        """Up to ``max_uops`` raw records as a numpy structured array.
+
+        The vectorized warming tier's zero-decode supply: one
+        ``np.frombuffer`` view per (partial) frame, no :class:`MicroOp`
+        construction at all. Returns ``None`` when raw records cannot be
+        served right now — stream exhausted (non-looping), a decoded
+        batch is pending from :meth:`next_uop`/restore, or numpy is
+        missing — in which case callers fall back to
+        :meth:`next_block`. Stream position (``replayed``, checkpoint
+        state) advances exactly as if the records had been replayed
+        per µop.
+        """
+        if self._batch or max_uops <= 0:
+            return None
+        try:
+            dtype = record_dtype()
+        except ImportError:
+            return None
+        tail = self._raw_tail
+        if not tail:
+            frame = next(self._frames, None)
+            if frame is None:
+                if not self._loop or not self.info.uop_count:
+                    return None
+                self._frames = _iter_frames(self.path)
+                frame = next(self._frames, None)
+                if frame is None:
+                    return None
+            tail = frame
+        count = min(max_uops, len(tail) // RECORD.size)
+        split = count * RECORD.size
+        self._raw_tail = tail[split:]
+        self.replayed += count
+        import numpy as np
+
+        return np.frombuffer(tail[:split], dtype=dtype)
 
     def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
         return self._synth.synth(seq, pc)
@@ -413,6 +496,7 @@ class FileTrace(TraceSource):
         self._synth = WrongPathSynth(self.info.wp_seed)
         self._frames = _iter_frames(self.path)
         self._batch = deque()
+        self._raw_tail = b""
         self.replayed = 0
 
     # -- state protocol (repro.checkpoint) -----------------------------
@@ -433,6 +517,7 @@ class FileTrace(TraceSource):
         """Position the stream so the next µop is number ``count``."""
         self._frames = _iter_frames(self.path)
         self._batch = deque()
+        self._raw_tail = b""
         remaining = count
         if self._loop and self.info.uop_count:
             remaining %= self.info.uop_count

@@ -346,6 +346,32 @@ class ScenarioTrace(TraceSource):
         self.emitted += 1
         return uop
 
+    def next_block(self, max_uops: int) -> List[MicroOp]:
+        """Block-yield iteration: one Markov step per µop, batched locally.
+
+        Same draws and emission as ``max_uops`` calls of
+        :meth:`next_uop` (the generator never exhausts), with the
+        per-µop method dispatch hoisted out of the loop for the
+        functional-warming tier.
+        """
+        out: List[MicroOp] = []
+        append = out.append
+        choices = self.rng.choices
+        transitions = self._transitions
+        emit = self._emit
+        state = self._state
+        for _ in range(max_uops):
+            if state is None:
+                state = self._states[0]
+            else:
+                successors, weights = transitions[state.name]
+                if successors:
+                    state = choices(successors, weights=weights)[0]
+            append(emit(state))
+        self._state = state
+        self.emitted += len(out)
+        return out
+
     def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
         return self._wp_synth.synth(seq, pc)
 

@@ -146,6 +146,25 @@ class WorkloadTrace(TraceSource):
         self.emitted += 1
         return uop
 
+    def next_block(self, max_uops: int) -> List[MicroOp]:
+        """Bulk :meth:`next_uop`: drain whole kernel blocks per refill.
+
+        Identical stream and RNG consumption (one weighted draw per
+        buffer refill), so cursor/checkpoint state after a block matches
+        per-µop iteration exactly.
+        """
+        out: List[MicroOp] = []
+        append = out.append
+        buffer = self._buffer
+        while len(out) < max_uops:
+            if not buffer:
+                kernel = self.rng.choices(self.kernels, weights=self.weights)[0]
+                buffer.extend(kernel.next_block())
+            for _ in range(min(max_uops - len(out), len(buffer))):
+                append(buffer.popleft())
+        self.emitted += len(out)
+        return out
+
     def wrong_path_uop(self, seq: int, pc: int) -> MicroOp:
         """ALU-only wrong-path filler over the reserved registers."""
         return self._wp_synth.synth(seq, pc)

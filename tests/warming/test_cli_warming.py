@@ -1,0 +1,56 @@
+"""CLI + gate surface for the warming track (no benchmark executed)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.perf.bench import BENCHMARKS
+from repro.perf.gate import GATE_SPECS, LOWER
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestBenchHelp:
+    def test_help_lists_every_benchmark(self, capsys):
+        """The literal name list in --help must not drift from BENCHMARKS."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        for name in BENCHMARKS:
+            assert name in help_text, name
+
+    def test_unknown_name_exits_2_listing_valid_names(self, tmp_path,
+                                                      capsys):
+        rc = main(["bench", "nosuch", "--out-dir", str(tmp_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark" in err
+        assert "warming" in err
+
+
+class TestGateSpec:
+    def test_warming_registered(self):
+        assert "warming" in BENCHMARKS
+        assert "warming" in GATE_SPECS
+
+    def test_digest_ceiling_is_zero(self):
+        """A checkpoint divergence can never pass, whatever the baseline."""
+        specs = {spec.metric: spec for spec in GATE_SPECS["warming"]}
+        assert specs["speedup"].direction == "higher"
+        assert not specs["speedup"].normalize
+        digest = specs["digest_mismatches"]
+        assert digest.direction == LOWER
+        assert digest.ceiling == 0.0
+
+    def test_committed_baseline_has_warming_entry(self):
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+        entry = baseline["results"]["warming"]
+        assert entry["quick"] is True
+        assert entry["metrics"]["speedup"] > 1.0
+        assert entry["metrics"]["digest_mismatches"] == 0.0

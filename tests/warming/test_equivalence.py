@@ -1,0 +1,223 @@
+"""Scalar vs vectorized warming: identical state, identical checkpoints.
+
+The contract under test (see ``repro.pipeline.warming.engine``): after
+warming the same stream span, the vectorized tier must leave every
+component byte-identical to the scalar reference — same ``state_dict``
+pickles, same ``.ckpt`` digests. Everything else about the vectorized
+tier is an implementation detail; this equality is the feature.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.opclass import OpClass
+from repro.isa.trace import ListTrace
+from repro.isa.uop import MicroOp
+from repro.pipeline.warming import warm_stream
+
+from tests.warming.conftest import (
+    PRESETS,
+    build_sim,
+    list_trace,
+    random_uops,
+    state_bytes,
+    workload_sim,
+)
+
+np = pytest.importorskip("numpy")
+
+
+def warmed_state(preset, trace_factory, uops, mode, train=True, **kwargs):
+    sim = build_sim(preset, trace_factory())
+    consumed = warm_stream(sim, sim.trace, uops, train_policy=train,
+                           mode=mode, **kwargs)
+    return consumed, state_bytes(sim)
+
+
+class TestSyntheticWorkloads:
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("workload", ("gzip", "mcf"))
+    def test_fast_forward_identity(self, preset, workload):
+        states = {}
+        for mode in ("scalar", "vectorized"):
+            sim = workload_sim(preset, workload)
+            assert sim.fast_forward(9000, mode=mode) == 9000
+            states[mode] = state_bytes(sim)
+        assert states["scalar"] == states["vectorized"]
+
+    def test_functional_warmup_identity(self):
+        from repro.traces.registry import resolve_workload
+
+        states = {}
+        for mode in ("scalar", "vectorized"):
+            sim = workload_sim("SpecSched_4_Combined", "gzip")
+            sim.functional_warmup(
+                resolve_workload("gzip").build_trace(7), 8000, mode=mode)
+            states[mode] = state_bytes(sim)
+        assert states["scalar"] == states["vectorized"]
+
+    def test_scenario_identity(self):
+        from repro.traces.registry import resolve_workload
+
+        states = {}
+        for mode in ("scalar", "vectorized"):
+            sim = build_sim(
+                "SpecSched_4_Combined",
+                resolve_workload("pointer-chase-storm").build_trace(5))
+            assert sim.fast_forward(6000, mode=mode) == 6000
+            states[mode] = state_bytes(sim)
+        assert states["scalar"] == states["vectorized"]
+
+
+class TestRecordedTraces:
+    def test_state_and_digest_identity(self, recorded_trace, tmp_path):
+        from repro.checkpoint.format import checkpoint_digest, save_checkpoint
+        from repro.traces.format import FileTrace
+
+        states, digests = {}, {}
+        for mode in ("scalar", "vectorized"):
+            sim = build_sim("SpecSched_4_Combined", FileTrace(recorded_trace))
+            assert sim.fast_forward(9000, mode=mode) == 9000
+            states[mode] = state_bytes(sim)
+            ckpt = tmp_path / f"{mode}.ckpt"
+            save_checkpoint(sim, ckpt)
+            digests[mode] = checkpoint_digest(ckpt)
+        assert states["scalar"] == states["vectorized"]
+        assert digests["scalar"] == digests["vectorized"]
+
+    def test_non_frame_aligned_blocks(self, recorded_trace):
+        from repro.traces.format import FileTrace
+
+        states = {}
+        for mode, kwargs in (("scalar", {}),
+                             ("vectorized", {"block_uops": 97})):
+            sim = build_sim("Baseline_0", FileTrace(recorded_trace))
+            consumed = warm_stream(sim, sim.trace, 8503, train_policy=True,
+                                   mode=mode, **kwargs)
+            assert consumed == 8503
+            states[mode] = state_bytes(sim)
+        assert states["scalar"] == states["vectorized"]
+
+
+class TestListStreams:
+    def test_random_stream_identity(self):
+        consumed_s, scalar = warmed_state(
+            "SpecSched_4_Combined", lambda: list_trace(11, 4000), 4000,
+            "scalar")
+        consumed_v, vectorized = warmed_state(
+            "SpecSched_4_Combined", lambda: list_trace(11, 4000), 4000,
+            "vectorized")
+        assert consumed_s == consumed_v == 4000
+        assert scalar == vectorized
+
+    def test_force_arrays_identity(self):
+        from repro.pipeline.warming.engine import warm_stream_vectorized
+
+        sim_s = build_sim("SpecSched_4_Combined", list_trace(13, 3000))
+        warm_stream(sim_s, sim_s.trace, 3000, train_policy=True,
+                    mode="scalar")
+        sim_v = build_sim("SpecSched_4_Combined", list_trace(13, 3000))
+        consumed = warm_stream_vectorized(sim_v, sim_v.trace, 3000,
+                                          train_policy=True,
+                                          force_arrays=True, block_uops=97)
+        assert consumed == 3000
+        assert state_bytes(sim_s) == state_bytes(sim_v)
+
+    def test_short_trace_reports_consumed(self):
+        for mode in ("scalar", "vectorized"):
+            sim = build_sim("Baseline_0", list_trace(17, 500))
+            assert warm_stream(sim, sim.trace, 2000, mode=mode) == 500
+
+    def test_empty_trace(self):
+        for mode in ("scalar", "vectorized"):
+            sim = build_sim("Baseline_0", ListTrace([]))
+            assert warm_stream(sim, sim.trace, 100, mode=mode) == 0
+
+    def test_zero_uops(self):
+        for mode in ("scalar", "vectorized"):
+            sim = build_sim("Baseline_0", list_trace(19, 100))
+            assert warm_stream(sim, sim.trace, 0, mode=mode) == 0
+
+
+class TestBtbDemoteDivergence:
+    """The one case where folded-ahead TAGE indices go stale.
+
+    A branch trained taken (TAGE direction = taken) whose BTB entry has
+    been evicted demotes to not-taken at predict; when it then resolves
+    not-taken, no repair fires and the history keeps the TAGE
+    *direction*, not the outcome. ``resolve_block`` must detect this and
+    abandon the remaining precomputed rows, or every later branch in the
+    block hashes with a wrong history bit.
+    """
+
+    @staticmethod
+    def _stream():
+        def br(pc, taken):
+            return MicroOp(seq=0, pc=pc, opclass=OpClass.BRANCH, srcs=[0],
+                           target=pc + 7, taken=taken)
+
+        victim = 0x1000
+        num_sets = 4096              # BTB: 8192 entries, 2 ways
+        alias1 = victim + 4 * num_sets
+        alias2 = victim + 8 * num_sets
+        uops = [br(victim, True) for _ in range(6)]       # train taken
+        for _ in range(3):                                # evict via set
+            uops.append(br(alias1, True))
+            uops.append(br(alias2, True))
+        uops.append(br(victim, False))                    # the trigger
+        import random
+
+        rng = random.Random(9)
+        for _ in range(200):                              # stale-fold tail
+            uops.append(br(0x2000 + 8 * rng.randrange(40),
+                           rng.random() < 0.5))
+        return uops
+
+    def test_trigger_fires(self):
+        """The crafted stream really exercises the demote case."""
+        sim = build_sim("SpecSched_4_Combined", ListTrace(self._stream()))
+        unit = sim.branch_unit
+        events = 0
+        for template in self._stream():
+            uop = template.clone_arch(0)
+            pred_taken, pred_target = unit.predict(uop)
+            uop.pred_taken, uop.pred_target = pred_taken, pred_target
+            tage_direction = uop.bp_state[1][3]
+            mispredicted = (pred_taken != uop.taken) or (
+                uop.taken and pred_target != uop.target)
+            if not mispredicted and tage_direction != uop.taken:
+                events += 1
+            unit.resolve(uop)
+        assert events >= 1
+
+    def test_identity_across_divergence(self):
+        from repro.pipeline.warming.engine import warm_stream_vectorized
+
+        stream = self._stream()
+        sim_s = build_sim("SpecSched_4_Combined", ListTrace(stream))
+        warm_stream(sim_s, sim_s.trace, len(stream), train_policy=True,
+                    mode="scalar")
+        sim_v = build_sim("SpecSched_4_Combined", ListTrace(stream))
+        warm_stream_vectorized(sim_v, sim_v.trace, len(stream),
+                               train_policy=True, force_arrays=True)
+        assert state_bytes(sim_s) == state_bytes(sim_v)
+
+
+class TestPropertyEquivalence:
+    def test_random_seeds_identity(self):
+        """Property-style sweep: many random streams, exact identity."""
+        from repro.pipeline.warming.engine import warm_stream_vectorized
+
+        for seed in range(12):
+            count = 600 + 137 * seed
+            sim_s = build_sim("SpecSched_4_Combined",
+                              ListTrace(random_uops(seed, count)))
+            warm_stream(sim_s, sim_s.trace, count, train_policy=True,
+                        mode="scalar")
+            sim_v = build_sim("SpecSched_4_Combined",
+                              ListTrace(random_uops(seed, count)))
+            warm_stream_vectorized(sim_v, sim_v.trace, count,
+                                   train_policy=True, force_arrays=True,
+                                   block_uops=101)
+            assert state_bytes(sim_s) == state_bytes(sim_v), seed
