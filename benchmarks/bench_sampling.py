@@ -35,6 +35,9 @@ def test_sampling_speedup(benchmark):
         f"{'detailed wall':28s} {m['detailed_wall_seconds']:8.2f} s",
         f"{'sampled wall':28s} {m['sampled_wall_seconds']:8.2f} s",
         f"{'speedup':28s} {m['speedup']:8.2f} x",
+        f"{'legacy cells wall':28s} {m['cells_legacy_wall_seconds']:8.2f} s",
+        f"{'chained cells wall':28s} {m['cells_chained_wall_seconds']:8.2f} s",
+        f"{'cell speedup':28s} {m['cell_speedup']:8.2f} x",
         f"{'mean IPC rel. error':28s} {m['mean_ipc_rel_err']:8.2%}",
         f"{'max IPC rel. error':28s} {m['max_ipc_rel_err']:8.2%}",
     )
@@ -42,3 +45,8 @@ def test_sampling_speedup(benchmark):
     # the detailed IPC badly, has lost its reason to exist.
     assert m["speedup"] > 1.0
     assert m["mean_ipc_rel_err"] < 0.05
+    # Chained cells exist to beat from-zero cells on warming cost, and
+    # the comparison is void unless both modes produced identical
+    # interval counters.
+    assert m["cell_speedup"] > 1.0
+    assert m["cell_mode_mismatches"] == 0

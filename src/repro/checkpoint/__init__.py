@@ -8,9 +8,13 @@ Three layers:
 * :mod:`repro.checkpoint.format` — the versioned, zlib-compressed,
   content-digested on-disk checkpoint format (``.ckpt`` files) and the
   save/load/restore entry points;
+* :mod:`repro.checkpoint.rebase` — cross-configuration re-targeting of
+  purely functional checkpoints (one warming pass serves a whole
+  scheduling-policy grid);
 * :mod:`repro.checkpoint.sampling` — :class:`SamplingSpec` and the
-  sampled-run drivers (per-interval engine cells and the chained
-  single-pass runner) with confidence-interval aggregation.
+  sampled-run drivers (per-interval engine cells, checkpoint-chained
+  cells and the chained single-pass runner) with confidence-interval
+  aggregation.
 
 Submodules are imported lazily (PEP 562): :mod:`repro.pipeline.cpu`
 imports the codec from :mod:`~repro.checkpoint.state`, while
@@ -30,9 +34,13 @@ _EXPORTS = {
     "load_checkpoint": "repro.checkpoint.format",
     "save_checkpoint": "repro.checkpoint.format",
     "restore_simulator": "repro.checkpoint.format",
+    "RebaseError": "repro.checkpoint.rebase",
+    "rebase_checkpoint": "repro.checkpoint.rebase",
     "SamplingSpec": "repro.checkpoint.sampling",
     "SampledResult": "repro.checkpoint.sampling",
     "run_sampled": "repro.checkpoint.sampling",
+    "run_sampled_cells_chained": "repro.checkpoint.sampling",
+    "chained_cell_payloads": "repro.checkpoint.sampling",
     "sample_payloads": "repro.checkpoint.sampling",
 }
 

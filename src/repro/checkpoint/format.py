@@ -81,8 +81,38 @@ class _PlainUnpickler(pickle.Unpickler):
             f"must be plain data")
 
 
+def _canonical_state(obj: Any) -> Any:
+    # Pickle preserves dict insertion order, but insertion order is not
+    # part of a state's *value* — the same workload dict arrives sorted
+    # when a payload travelled through the JSON spool queue and in
+    # builder order when it stayed in-process. Sort keys recursively
+    # (falling back to insertion order for unorderable key types) so the
+    # digest is order-independent. Container types are preserved:
+    # restore code may distinguish tuples from lists.
+    if isinstance(obj, dict):
+        try:
+            items = sorted(obj.items())
+        except TypeError:
+            items = list(obj.items())
+        return {key: _canonical_state(value) for key, value in items}
+    if isinstance(obj, list):
+        return [_canonical_state(value) for value in obj]
+    if isinstance(obj, tuple):
+        return tuple(_canonical_state(value) for value in obj)
+    return obj
+
+
 def _dumps(state: Any) -> bytes:
-    return pickle.dumps(state, protocol=PICKLE_PROTOCOL)
+    # fast=True disables the pickle memo, so the byte stream depends only
+    # on *values*, never on object identity/aliasing inside the state
+    # graph. Rebased payloads stitch islands from two different object
+    # graphs; without this, content-identical states could hash apart.
+    # State dicts are plain acyclic data, which fast mode requires.
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=PICKLE_PROTOCOL)
+    pickler.fast = True
+    pickler.dump(_canonical_state(state))
+    return buffer.getvalue()
 
 
 def _loads(raw: bytes) -> Any:
@@ -183,39 +213,31 @@ def checkpoint_digest(path) -> str:
 # Save
 
 
-def save_checkpoint(sim, path, *, workload=None, seed: Optional[int] = None,
-                    compress: bool = True,
-                    provenance: Optional[Dict[str, Any]] = None
-                    ) -> CheckpointInfo:
-    """Freeze ``sim`` to ``path``.
+def write_checkpoint(payload: Dict[str, Any], path, *,
+                     uops_committed: int = 0, cycles: int = 0,
+                     compress: bool = True,
+                     provenance: Optional[Dict[str, Any]] = None
+                     ) -> CheckpointInfo:
+    """Write an already-assembled checkpoint payload dict to ``path``.
 
-    ``workload`` (anything the workload registry hands out) and ``seed``
-    are recorded so :func:`restore_simulator` can rebuild the trace
-    source without the caller re-supplying them; pass ``workload=None``
-    for hand-built traces and supply the trace at restore time.
+    ``payload`` is the on-disk payload shape (``schema`` / ``config`` /
+    ``workload`` / ``seed`` / ``sim``); the meta header is derived from
+    it. This is the writer :func:`save_checkpoint` funnels through, and
+    what :mod:`repro.checkpoint.rebase` uses to emit a re-targeted state
+    without ever building a live simulator.
     """
-    from repro.traces.registry import workload_payload
-
     path = Path(path)
-    payload = {
-        "schema": CHECKPOINT_SCHEMA,
-        "config": sim.config.to_dict(),
-        "workload": (workload_payload(workload)
-                     if workload is not None else None),
-        "seed": seed,
-        "sim": sim.state_dict(),
-    }
     raw = _dumps(payload)
     digest = hashlib.sha256(raw).digest()
     stored = zlib.compress(raw, 6) if compress else raw
     meta = {
         "schema": CHECKPOINT_SCHEMA,
-        "config_name": sim.config.name,
-        "config_hash": stable_hash(sim.config.to_dict()),
-        "workload": payload["workload"],
-        "seed": seed,
-        "uops_committed": sim.stats.committed_uops,
-        "cycles": sim.stats.cycles,
+        "config_name": payload["config"].get("name", "?"),
+        "config_hash": stable_hash(payload["config"]),
+        "workload": payload.get("workload"),
+        "seed": payload.get("seed"),
+        "uops_committed": uops_committed,
+        "cycles": cycles,
         "provenance": {
             "python": platform.python_version(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -230,6 +252,33 @@ def save_checkpoint(sim, path, *, workload=None, seed: Optional[int] = None,
         handle.write(meta_raw)
         handle.write(stored)
     return read_info(path)
+
+
+def save_checkpoint(sim, path, *, workload=None, seed: Optional[int] = None,
+                    compress: bool = True,
+                    provenance: Optional[Dict[str, Any]] = None
+                    ) -> CheckpointInfo:
+    """Freeze ``sim`` to ``path``.
+
+    ``workload`` (anything the workload registry hands out) and ``seed``
+    are recorded so :func:`restore_simulator` can rebuild the trace
+    source without the caller re-supplying them; pass ``workload=None``
+    for hand-built traces and supply the trace at restore time.
+    """
+    from repro.traces.registry import workload_payload
+
+    payload = {
+        "schema": CHECKPOINT_SCHEMA,
+        "config": sim.config.to_dict(),
+        "workload": (workload_payload(workload)
+                     if workload is not None else None),
+        "seed": seed,
+        "sim": sim.state_dict(),
+    }
+    return write_checkpoint(payload, path,
+                            uops_committed=sim.stats.committed_uops,
+                            cycles=sim.stats.cycles, compress=compress,
+                            provenance=provenance)
 
 
 # ---------------------------------------------------------------------------

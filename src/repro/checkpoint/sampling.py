@@ -16,28 +16,47 @@ A :class:`SamplingSpec` pins the geometry::
     interval_uops   measured µops per interval
     intervals       number of intervals
 
-Two execution shapes:
+Three execution shapes:
 
 * **cells** (:func:`sample_payloads` / :func:`run_sampled`): each
   interval compiles to one self-contained engine cell, dispatched across
   the process pool and persistently cached like any other cell. A cell
   fast-forwards from µop zero (or from a checkpoint — whose content
   digest then keys the cache entry) to its interval start, so its result
-  is a pure function of its payload.
+  is a pure function of its payload — but the total warming cost grows
+  quadratically with the interval count.
+* **chained cells** (:func:`chained_cell_payloads` /
+  :func:`run_sampled_cells_chained`): cells again, but each interval's
+  fast-forward chains off the previous interval's checkpoint (produced
+  by a checkpoint-producing cell, content-addressed in the engine's
+  checkpoint store), so total warming cost is linear like the
+  single-pass shape while the measurement cells keep full pool
+  parallelism. One warming chain serves every config of a workload that
+  shares memory/branch parameters — the chain's checkpoints are rebased
+  (:mod:`repro.checkpoint.rebase`) across scheduling-policy configs.
+  Interval results are bit-identical to the legacy **cells** shape
+  (functional warming is deterministic and checkpoint round-trips are
+  exact), so the two modes are interchangeable cache-compatible
+  estimators — they differ only in cost.
 * **chained** (:func:`run_sampled_chained`): one simulator walks the
   stream once, alternating fast-forward and detailed intervals — the
   fastest single-process shape (no per-interval re-warming), used by
   ``repro run --sample`` and the sampling benchmark.
 
-The two shapes are both unbiased estimators but are not bit-identical
-to each other: chained intervals inherit detailed-mode cache/predictor
-perturbations from earlier intervals; cells warm purely functionally.
+The cell shapes and the single-pass shape are all unbiased estimators
+but the single-pass shape is not bit-identical to the cells: chained
+intervals inherit detailed-mode cache/predictor perturbations from
+earlier intervals; cells warm purely functionally.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.common.config import SimConfig
@@ -144,6 +163,152 @@ def sample_payloads(base_payload: Dict[str, Any],
     ]
 
 
+def _rebased_ref(ref: Dict[str, Any], target_config: SimConfig,
+                 store: Path, memo: Dict[str, Dict[str, Any]]
+                 ) -> Dict[str, Any]:
+    """The checkpoint ref for ``ref`` re-targeted to ``target_config``,
+    materialized content-addressed in ``store`` (reused when present).
+
+    The store name hashes the *source digest* + target config + code
+    version, so a regenerated or re-warmed source chain can never serve
+    a stale rebased file.
+    """
+    from repro.checkpoint.format import CHECKPOINT_SUFFIX
+    from repro.checkpoint.rebase import rebase_checkpoint
+    from repro.experiments.engine import checkpoint_store_ref, code_version
+
+    key = stable_hash({"rebase": ref["digest"],
+                       "config": target_config.to_dict(),
+                       "code_version": code_version()})
+    if key in memo:
+        return memo[key]
+    out = store / f"{key}{CHECKPOINT_SUFFIX}"
+    cached = checkpoint_store_ref(out)
+    if cached is None:
+        fd, tmp_name = tempfile.mkstemp(dir=store, suffix=".tmp")
+        os.close(fd)
+        try:
+            rebase_checkpoint(ref["path"], target_config, tmp_name)
+            os.replace(tmp_name, out)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        cached = checkpoint_store_ref(out)
+        assert cached is not None
+    memo[key] = cached
+    return cached
+
+
+def chained_cell_payloads(bases: List[Dict[str, Any]], spec: SamplingSpec, *,
+                          options=None, store=None,
+                          progress=None) -> List[Dict[str, Any]]:
+    """Compile base payloads into checkpoint-chained interval cells.
+
+    For each distinct warming chain among ``bases`` (same workload,
+    seed, memory and branch configuration — and, for filter-bearing
+    configs, the same hit/miss-filter shape) one sequence of
+    checkpoint-producing cells walks the stream once, each interval's
+    cell chaining off the previous interval's checkpoint. Chains step in
+    lock-step batches through :func:`~repro.experiments.engine.
+    run_produce_cells`, so warming parallelism across workloads/configs
+    is preserved even though each chain is sequential. Chain checkpoints
+    are then rebased (cheap, in-process) to every other config in the
+    chain's group, and the returned measurement payloads — in
+    ``bases``-major, interval-minor order, ready for ``run_cells`` —
+    reference the (possibly rebased) checkpoints by digest.
+    """
+    from repro.checkpoint.rebase import filter_shape
+    from repro.experiments.engine import (
+        EngineOptions,
+        checkpoint_store_path,
+        produce_payload,
+        run_produce_cells,
+    )
+    from repro.traces.registry import workload_identity
+
+    spec.validate()
+    options = options or EngineOptions.from_env()
+    if store is None:
+        store = checkpoint_store_path(options)
+    if store is None:
+        raise SamplingError(
+            "chained-cell sampling needs a checkpoint store: enable the "
+            "persistent cache (REPRO_CACHE_DIR) or pass store=")
+    store = Path(store)
+    store.mkdir(parents=True, exist_ok=True)
+
+    # Partition bases into warming chains. A warming chain is valid for
+    # every config sharing its memory/branch parameters (rebase's
+    # compatibility rule); filter-bearing configs additionally need a
+    # donor of their own filter shape, so each distinct shape in a group
+    # gets its own chain. Filterless configs ride the group's first
+    # filter-bearing chain when one exists (rebase drops the filter
+    # state) — one warming pass per workload serves the whole grid.
+    described = []                       # per base: (group, shape)
+    donors: Dict[Any, Dict[str, Any]] = {}   # chain id -> donor base
+    group_shapes: Dict[str, List[Any]] = {}
+    for base in bases:
+        group = stable_hash({
+            "workload": workload_identity(base["workload"]),
+            "seed": base["seed"],
+            "memory": base["config"]["memory"],
+            "branch": base["config"]["branch"],
+        })
+        shape = filter_shape(base["config"].get("sched", {}))
+        described.append((group, shape))
+        if shape is not None and (group, shape) not in donors:
+            donors[(group, shape)] = base
+            group_shapes.setdefault(group, []).append(shape)
+    chain_of = []                        # per base: chain id
+    for base, (group, shape) in zip(bases, described):
+        if shape is None:
+            shapes = group_shapes.get(group)
+            chain = (group, shapes[0]) if shapes else (group, None)
+            if chain not in donors:
+                donors[chain] = base
+        else:
+            chain = (group, shape)
+        chain_of.append(chain)
+
+    # Build every chain stepwise; step i of all chains runs as one
+    # produce batch (pool parallelism across chains, sequential within).
+    chain_ids = list(donors)
+    refs: Dict[Any, List[Dict[str, Any]]] = {cid: [] for cid in chain_ids}
+    prev: Dict[Any, Optional[Dict[str, Any]]] = dict.fromkeys(chain_ids)
+    for index in range(spec.intervals):
+        batch = [produce_payload(donors[cid], spec.interval_offset(index),
+                                 store, checkpoint=prev[cid])
+                 for cid in chain_ids]
+        out = run_produce_cells(batch, options=options, progress=progress)
+        for cid, ref in zip(chain_ids, out):
+            prev[cid] = ref
+            refs[cid].append(ref)
+
+    payloads = []
+    rebase_memo: Dict[str, Dict[str, Any]] = {}
+    for base, cid in zip(bases, chain_of):
+        if base["config"] == donors[cid]["config"]:
+            base_refs = refs[cid]
+        else:
+            target = SimConfig.from_dict(base["config"]).validate()
+            base_refs = [_rebased_ref(ref, target, store, rebase_memo)
+                         for ref in refs[cid]]
+        for index in range(spec.intervals):
+            payloads.append({
+                **{key: value for key, value in base.items()
+                   if key not in ("produce", "checkpoint_store")},
+                "functional_warmup_uops": 0,
+                "warmup_uops": spec.warmup_uops,
+                "measure_uops": spec.interval_uops,
+                "sampling": {"spec": spec.to_dict(), "index": index},
+                "checkpoint": base_refs[index],
+            })
+    return payloads
+
+
 # ---------------------------------------------------------------------------
 # Aggregation
 
@@ -248,6 +413,51 @@ def run_sampled(workload, config: Union[str, SimConfig],
     payloads = sample_payloads(base, spec)
     stats = run_cells(payloads, options=options or EngineOptions.from_env(),
                       cache=cache)
+    return SampledResult(workload=resolved.name, config_name=config.name,
+                         spec=spec, interval_stats=list(stats))
+
+
+def run_sampled_cells_chained(workload, config: Union[str, SimConfig],
+                              spec: SamplingSpec, *,
+                              seed: Optional[int] = None,
+                              banked: bool = True, options=None, cache=None,
+                              store=None,
+                              warming: Optional[str] = None) -> SampledResult:
+    """Sampled run through checkpoint-chained cells: linear warming cost
+    (one stream walk, checkpointed per interval) with full cell
+    parallelism and caching. Interval results are bit-identical to
+    :func:`run_sampled`'s from-zero cells.
+
+    ``store`` overrides the checkpoint store directory; when the
+    persistent cache is disabled and no store is given, a temporary
+    store scoped to this call is used (checkpoints discarded after the
+    measurement cells run).
+    """
+    from repro.experiments.engine import (
+        EngineOptions,
+        base_cell_payload,
+        checkpoint_store_path,
+        run_cells,
+    )
+
+    spec.validate()
+    resolved, config = _resolve(workload, config, banked)
+    base = base_cell_payload(
+        config, resolved, warmup_uops=spec.warmup_uops,
+        measure_uops=spec.interval_uops, functional_warmup_uops=0,
+        seed=_cell_seed(resolved, seed))
+    if warming is not None:
+        base["warming"] = warming
+    options = options or EngineOptions.from_env()
+    with contextlib.ExitStack() as stack:
+        if store is None:
+            store = checkpoint_store_path(options)
+        if store is None:
+            store = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-ckpt-"))
+        payloads = chained_cell_payloads([base], spec, options=options,
+                                         store=store)
+        stats = run_cells(payloads, options=options, cache=cache)
     return SampledResult(workload=resolved.name, config_name=config.name,
                          spec=spec, interval_stats=list(stats))
 

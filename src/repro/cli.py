@@ -15,9 +15,16 @@ Commands:
 * ``trace record WORKLOAD`` / ``trace info FILE`` / ``trace replay FILE
   CONFIG`` — capture a µop stream to the binary trace format, inspect a
   recording, replay one through the simulator;
-* ``checkpoint create WORKLOAD CONFIG`` / ``checkpoint info FILE`` —
-  freeze a mid-run simulator's complete state to a versioned ``.ckpt``
-  file, inspect one (``--verify`` re-checks the content digest);
+* ``checkpoint create WORKLOAD CONFIG`` / ``checkpoint info FILE`` /
+  ``checkpoint rebase FILE CONFIG`` — freeze a mid-run simulator's
+  complete state to a versioned ``.ckpt`` file, inspect one
+  (``--verify`` re-checks the content digest), or re-target a purely
+  functional checkpoint to another scheduling-policy configuration
+  (one warming pass, many configs — see
+  :mod:`repro.checkpoint.rebase`);
+* ``worker`` — drain a queue-backend spool directory: the worker half
+  of ``REPRO_BACKEND=queue``, runnable on another host that shares the
+  spool (see :mod:`repro.experiments.backends`);
 * ``bench [NAME ...]`` — measure simulator throughput (headline /
   table2 / trace / sampling / telemetry / warming), write
   ``BENCH_<name>.json`` trajectory files and, with ``--baseline``,
@@ -37,7 +44,9 @@ and recorded-trace names/files are all accepted. Workload selection and
 simulation volume follow the ``REPRO_*`` environment variables (see
 :mod:`repro.experiments.runner`); the ``--jobs`` / ``--cache-dir`` flags
 on ``figure``, ``table2`` and ``sweep`` override ``REPRO_JOBS`` /
-``REPRO_CACHE_DIR`` for one invocation.
+``REPRO_CACHE_DIR`` for one invocation. ``REPRO_BACKEND=queue`` (with
+``REPRO_SPOOL_DIR``) swaps the local process pool for the spool work
+queue on every engine-driven command.
 """
 
 from __future__ import annotations
@@ -110,11 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--offset", type=int, default=None, metavar="N",
                        help="sampling: functional warming µops before "
                             "the first interval")
-    run_p.add_argument("--sample-mode", choices=("chained", "cells"),
+    run_p.add_argument("--sample-mode",
+                       choices=("chained", "cells", "cells-chained"),
                        default="chained",
                        help="chained: one pass, fastest (default); "
                             "cells: per-interval engine cells, pooled "
-                            "(--jobs) and persistently cached")
+                            "(--jobs) and persistently cached; "
+                            "cells-chained: cells whose warming chains "
+                            "through per-interval checkpoints (linear "
+                            "warming cost, same results as cells)")
     run_p.add_argument("--warming", choices=("auto", "scalar", "vectorized"),
                        default=None,
                        help="functional-warming tier: vectorized numpy "
@@ -214,6 +227,22 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt_info.add_argument("--verify", action="store_true",
                            help="decode the payload against the digest")
 
+    ckpt_rebase = ckpt_sub.add_parser(
+        "rebase", help="re-target a purely functional checkpoint to a "
+                       "configuration differing only in scheduling-"
+                       "policy parameters")
+    ckpt_rebase.add_argument("file", help="source .ckpt (functional mode)")
+    ckpt_rebase.add_argument("config", help="target preset, e.g. Baseline_0")
+    ckpt_rebase.add_argument("-o", "--output", default=None, metavar="FILE",
+                             help="output path (default "
+                                  "<source>-<config>.ckpt)")
+    ckpt_rebase.add_argument("--dual-ported", action="store_true",
+                             help="ideal dual-ported L1D instead of banked "
+                                  "(must match the source — rebase never "
+                                  "crosses memory configs)")
+    ckpt_rebase.add_argument("--no-compress", action="store_true",
+                             help="store the payload raw instead of zlib")
+
     bench_p = sub.add_parser(
         "bench", help="measure simulator throughput and write "
                       "BENCH_<name>.json trajectory files")
@@ -298,6 +327,26 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="print the rollup as JSON")
     _add_engine_flags(report_manifests)
 
+    worker_p = sub.add_parser(
+        "worker", help="drain a queue-backend spool: execute tasks "
+                       "enqueued by REPRO_BACKEND=queue submitters")
+    worker_p.add_argument("--spool", default=None, metavar="DIR",
+                          help="spool directory (default: REPRO_SPOOL_DIR, "
+                               "else <cache_dir>/spool)")
+    worker_p.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                          help="exit after N cells (default: run until "
+                               "the queue is idle)")
+    worker_p.add_argument("--idle-timeout", type=float, default=0.0,
+                          metavar="S",
+                          help="keep polling S seconds after the queue "
+                               "runs dry (default 0 = exit as soon as it "
+                               "is empty)")
+    worker_p.add_argument("--requeue-stale", action="store_true",
+                          help="first re-queue claimed tasks left behind "
+                               "by a crashed worker (only safe when no "
+                               "other worker is active)")
+    _add_engine_flags(worker_p)
+
     sub.add_parser("list", help="available workloads and presets")
     return parser
 
@@ -315,13 +364,13 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
 
     Built per invocation (never written back to ``os.environ``) so
     embedding ``main()`` in a test or notebook leaks no state."""
+    import dataclasses
+
     options = EngineOptions.from_env()
     if getattr(args, "jobs", None) is not None:
-        options = EngineOptions(jobs=max(1, args.jobs),
-                                cache_dir=options.cache_dir)
+        options = dataclasses.replace(options, jobs=max(1, args.jobs))
     if getattr(args, "cache_dir", None) is not None:
-        options = EngineOptions(jobs=options.jobs,
-                                cache_dir=args.cache_dir)
+        options = dataclasses.replace(options, cache_dir=args.cache_dir)
     return options
 
 
@@ -409,6 +458,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.sample:
         from repro.checkpoint.sampling import (
             run_sampled,
+            run_sampled_cells_chained,
             run_sampled_chained,
         )
 
@@ -420,6 +470,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     banked=not args.dual_ported,
                     options=_engine_options(args),
                     checkpoint=args.from_checkpoint,
+                    warming=args.warming)
+            elif args.sample_mode == "cells-chained":
+                if args.from_checkpoint is not None:
+                    raise ValueError(
+                        "--from-checkpoint requires --sample-mode cells "
+                        "(chained cells own their warming chain)")
+                result = run_sampled_cells_chained(
+                    args.workload, args.config, spec,
+                    banked=not args.dual_ported,
+                    options=_engine_options(args),
                     warming=args.warming)
             else:
                 if args.from_checkpoint is not None:
@@ -494,6 +554,51 @@ def _cmd_checkpoint_create(args: argparse.Namespace) -> int:
     print(f"  size       {info.file_bytes} bytes "
           f"(raw state {info.raw_bytes})")
     print(f"  committed  {info.uops_committed} µops, {info.cycles} cycles")
+    return 0
+
+
+def _cmd_checkpoint_rebase(args: argparse.Namespace) -> int:
+    from repro.checkpoint.rebase import rebase_checkpoint
+    from repro.core.presets import make_config
+
+    try:
+        config = make_config(args.config, banked=not args.dual_ported)
+        output = (args.output
+                  or f"{Path(args.file).stem}-{args.config}.ckpt")
+        info = rebase_checkpoint(args.file, config, output,
+                                 compress=not args.no_compress)
+    except (KeyError, OSError, ValueError) as exc:
+        return _fail(exc)
+    provenance = info.provenance
+    print(f"rebased {args.file} -> {output} under {args.config} at "
+          f"{provenance.get('stream_uops', '?')} stream µops")
+    print(f"  digest     {info.digest}")
+    print(f"  size       {info.file_bytes} bytes "
+          f"(raw state {info.raw_bytes})")
+    print(f"  source     {provenance.get('source_config', '?')} "
+          f"({str(provenance.get('source_digest', ''))[:12]})")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.experiments.backends import drain_spool, requeue_stale
+
+    try:
+        if args.spool is not None:
+            spool = Path(args.spool)
+        else:
+            spool = _engine_options(args).spool_path()
+        if args.requeue_stale:
+            moved = requeue_stale(spool)
+            if moved:
+                print(f"re-queued {moved} stale task(s)", file=sys.stderr)
+        executed = drain_spool(
+            spool, max_tasks=args.max_tasks,
+            idle_timeout=args.idle_timeout,
+            log=lambda line: print(line, file=sys.stderr))
+    except (OSError, ValueError) as exc:
+        return _fail(exc)
+    print(f"worker drained {executed} cell(s) from {spool}")
     return 0
 
 
@@ -747,14 +852,31 @@ def _cmd_figure(number: str, options: EngineOptions) -> int:
 
 def _cmd_sweep(path: str, options: EngineOptions,
                show_progress: bool = False) -> int:
+    from repro.experiments.runner import shared_cache
+
     sweep = Sweep.from_file(path)
+    cache = shared_cache(options)
     progress = None
     if show_progress:
+        walls: List[float] = []
+
         def progress(done: int, total: int, manifest: dict) -> None:
-            print(f"[{done}/{total}] {manifest['config']} x "
-                  f"{manifest['workload']}  "
-                  f"{manifest['wall_seconds']:.2f}s", file=sys.stderr)
-    result = run_sweep(sweep, options=options, progress=progress)
+            walls.append(float(manifest["wall_seconds"]))
+            eta = ""
+            remaining = total - done
+            if remaining > 0 and walls:
+                per_cell = sum(walls) / len(walls)
+                eta_seconds = per_cell * remaining / max(1, options.jobs)
+                eta = f"  eta {eta_seconds:5.1f}s"
+            if "produce_position" in manifest:
+                what = (f"ckpt {manifest['workload']} "
+                        f"@{manifest['produce_position']}")
+            else:
+                what = f"{manifest['config']} x {manifest['workload']}"
+            print(f"[{done}/{total}] {what}  "
+                  f"{manifest['wall_seconds']:.2f}s{eta}", file=sys.stderr)
+    result = run_sweep(sweep, options=options, cache=cache,
+                       progress=progress)
     print(performance_table(result))
     if result.ipc_ci:
         print()
@@ -764,6 +886,9 @@ def _cmd_sweep(path: str, options: EngineOptions,
             continue
         print()
         print(summary_line(result, series.label, sweep.baseline))
+    hits = cache.memory_hits + cache.disk_hits
+    print(f"\ncells: {cache.stores} computed, {hits} cached "
+          f"({cache.stores + hits} total)")
     return 0
 
 
@@ -891,6 +1016,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_checkpoint_create(args)
         if args.checkpoint_command == "info":
             return _cmd_checkpoint_info(args)
+        if args.checkpoint_command == "rebase":
+            return _cmd_checkpoint_rebase(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "events":

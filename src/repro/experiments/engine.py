@@ -6,11 +6,18 @@ This is the batch-execution core every sweep funnels through
 
 1. **Cell dispatch.** A *cell* is one ``(configuration, workload)``
    simulation at fixed µop volumes and seed. :func:`run_cells` executes a
-   batch of cells either inline (``jobs == 1``) or across worker
-   processes via :class:`concurrent.futures.ProcessPoolExecutor`
-   (``jobs > 1``). Each cell is fully described by a plain-dict *payload*
-   (serialized config + workload spec + volumes + seed), so results are
-   bit-identical no matter which process — or which run — simulated them.
+   batch of cells through a pluggable :class:`~repro.experiments.
+   backends.ExecutionBackend` — inline / local process pool by default,
+   or a file/spool work queue under ``REPRO_BACKEND=queue`` that a
+   ``repro worker`` process (possibly on another host sharing the spool
+   directory) drains. Each cell is fully described by a plain-dict
+   *payload* (serialized config + workload spec + volumes + seed), so
+   results are bit-identical no matter which process — or which run, or
+   which machine — simulated them. Besides measurement cells there are
+   *checkpoint-producing* cells (:func:`run_produce_cells`): their
+   output is a warm checkpoint at a target µop position, stored
+   content-addressed under ``<cache_dir>/checkpoints/`` so sampled
+   sweeps can chain each interval off the previous interval's state.
 
 2. **Persistent result cache.** :class:`ResultCache` layers an in-process
    memo over an on-disk store. Entries are keyed by a sha256 content hash
@@ -35,7 +42,10 @@ Engine knobs come from the environment (see :class:`EngineOptions`):
 * ``REPRO_JOBS`` — worker processes (default 1 = serial);
 * ``REPRO_CACHE_DIR`` — cache directory; ``off``/``none``/``0`` or the
   empty string disables the persistent layer (the in-process memo always
-  applies).
+  applies);
+* ``REPRO_BACKEND`` — ``local`` (default) or ``queue``;
+* ``REPRO_SPOOL_DIR`` — queue-backend spool directory (default
+  ``<cache_dir>/spool``).
 """
 
 from __future__ import annotations
@@ -46,7 +56,6 @@ import hashlib
 import json
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -68,6 +77,9 @@ from repro.traces.registry import (
 #: trace cells key on the recording's content digest.
 #: 3: payloads may carry sampling ({spec, index}), checkpoint
 #: ({path, digest, position} — keyed by digest only) and max_cycles.
+#: (Checkpoint-producing payloads — produce/checkpoint_store — never
+#: enter this cache: their output lives in the checkpoint store, and
+#: the new fields change keys via the content hash, not the schema.)
 CACHE_SCHEMA = 3
 
 _DISABLE_TOKENS = frozenset({"", "off", "none", "0"})
@@ -136,18 +148,28 @@ def default_cache_dir() -> Path:
     return root / "repro-isca2015"
 
 
+#: Execution-backend names :meth:`EngineOptions.execution_backend` maps.
+BACKENDS = ("local", "queue")
+
+
 @dataclass(frozen=True)
 class EngineOptions:
     """Execution knobs, normally taken from the environment."""
 
     jobs: int = 1
     cache_dir: Optional[str] = None     # None => default; "off" => disabled
+    backend: str = "local"              # see BACKENDS
+    spool_dir: Optional[str] = None     # queue backend; None => cache/spool
 
     @staticmethod
     def from_env() -> "EngineOptions":
         jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        backend = (os.environ.get("REPRO_BACKEND", "local")
+                   or "local").strip().lower()
         return EngineOptions(jobs=max(1, jobs),
-                             cache_dir=os.environ.get("REPRO_CACHE_DIR"))
+                             cache_dir=os.environ.get("REPRO_CACHE_DIR"),
+                             backend=backend,
+                             spool_dir=os.environ.get("REPRO_SPOOL_DIR"))
 
     def cache_path(self) -> Optional[Path]:
         """Resolved persistent-cache directory, or ``None`` if disabled."""
@@ -156,6 +178,31 @@ class EngineOptions:
         if self.cache_dir.strip().lower() in _DISABLE_TOKENS:
             return None
         return Path(self.cache_dir)
+
+    def spool_path(self) -> Path:
+        """The queue backend's spool directory."""
+        if self.spool_dir:
+            return Path(self.spool_dir)
+        cache = self.cache_path()
+        if cache is None:
+            raise ValueError(
+                "the queue backend needs a spool directory: set "
+                "REPRO_SPOOL_DIR (or --spool) when the result cache is "
+                "disabled")
+        return cache / "spool"
+
+    def execution_backend(self):
+        """The :class:`~repro.experiments.backends.ExecutionBackend`
+        instance this run dispatches cells through."""
+        from repro.experiments.backends import LocalPoolBackend, QueueBackend
+
+        if self.backend in ("", "local"):
+            return LocalPoolBackend(self.jobs)
+        if self.backend == "queue":
+            return QueueBackend(self.spool_path())
+        raise ValueError(
+            f"unknown execution backend {self.backend!r} "
+            f"(REPRO_BACKEND must be one of: {', '.join(BACKENDS)})")
 
 
 # ---------------------------------------------------------------------------
@@ -220,8 +267,13 @@ class ResultCache:
             return
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Entries record the payload in its location-independent identity
+        # form (the structure the key hashes), so the same cell produces
+        # byte-identical entries on any machine or execution backend.
         entry = {"schema": CACHE_SCHEMA, "key": key,
-                 "payload": payload, "stats": stats.to_dict()}
+                 "payload": (payload if payload is None
+                             else payload_identity(payload)),
+                 "stats": stats.to_dict()}
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -308,14 +360,34 @@ def cell_key(payload: Dict[str, Any]) -> str:
     The ``warming`` tier selector is excluded: the vectorized and
     scalar warming tiers are bit-identical by contract
     (:mod:`repro.pipeline.warming`), so results are interchangeable.
+    ``checkpoint_store`` (where a producing cell writes its output) is
+    likewise excluded — it is a location, not an input; the produced
+    state is pinned by the base digest + target position, which *are*
+    keyed.
     """
-    normalized = {**payload,
-                  "workload": workload_identity(payload["workload"])}
+    return stable_hash(payload_identity(payload))
+
+
+def payload_identity(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Location-independent form of a cell payload.
+
+    This is the exact structure :func:`cell_key` hashes, and the form
+    :class:`ResultCache` records in persistent entries — so a cache
+    entry's bytes never depend on where a trace file, checkpoint store
+    or cache directory happens to live, and two machines (or two
+    execution backends) computing the same cell write identical entries.
+    Fields a payload does not carry are left alone, so free-form
+    provenance dicts pass through unchanged.
+    """
+    normalized = dict(payload)
+    if "workload" in normalized:
+        normalized["workload"] = workload_identity(normalized["workload"])
     normalized.pop("warming", None)
+    normalized.pop("checkpoint_store", None)
     checkpoint = normalized.get("checkpoint")
     if checkpoint is not None:
         normalized["checkpoint"] = {"digest": checkpoint["digest"]}
-    return stable_hash(normalized)
+    return normalized
 
 
 def cell_seed(payload: Dict[str, Any]) -> int:
@@ -327,6 +399,44 @@ def cell_seed(payload: Dict[str, Any]) -> int:
     the payload alone — never of dispatch order or worker identity.
     """
     return payload["seed"]
+
+
+def _restore_checkpoint_base(payload: Dict[str, Any], workload, seed: int, *,
+                             phase_profile=None, event_bus=None,
+                             extra_stages=()) -> Tuple[Simulator, int]:
+    """Restore a cell's ``checkpoint`` base, fully verified.
+
+    The digest must match the ref (a regenerated checkpoint can never
+    serve a stale cell), the saved configuration must equal the cell's,
+    and the saved workload identity must equal the cell's. Returns the
+    restored simulator and the checkpoint's stream position.
+    """
+    from repro.checkpoint.format import CheckpointError, load_checkpoint
+
+    checkpoint = payload["checkpoint"]
+    loaded = load_checkpoint(checkpoint["path"])
+    if loaded.info.digest != checkpoint["digest"]:
+        raise CheckpointError(
+            f"checkpoint {checkpoint['path']} changed since the cell "
+            f"was built (digest mismatch)")
+    if loaded.payload["config"] != payload["config"]:
+        raise CheckpointError(
+            f"checkpoint {checkpoint['path']} was saved under "
+            f"configuration {loaded.info.config_name!r}, but this "
+            f"cell runs {payload['config'].get('name', '?')!r}; "
+            f"checkpoints resume their own configuration")
+    saved_workload = loaded.payload.get("workload")
+    if saved_workload is not None and (
+            workload_identity(saved_workload)
+            != workload_identity(payload["workload"])):
+        raise CheckpointError(
+            f"checkpoint {checkpoint['path']} was saved for a "
+            f"different workload; restoring its trace cursor into "
+            f"this cell's stream would silently corrupt the run")
+    sim = loaded.restore(trace=workload.build_trace(seed),
+                         phase_profile=phase_profile,
+                         event_bus=event_bus, extra_stages=extra_stages)
+    return sim, int(checkpoint.get("position", 0))
 
 
 def simulate_payload(payload: Dict[str, Any],
@@ -374,34 +484,12 @@ def simulate_payload(payload: Dict[str, Any],
     seed = cell_seed(payload)
     warming = payload.get("warming")
     checkpoint = payload.get("checkpoint")
-    position = 0
     if checkpoint is not None:
-        from repro.checkpoint.format import CheckpointError, load_checkpoint
-
-        loaded = load_checkpoint(checkpoint["path"])
-        if loaded.info.digest != checkpoint["digest"]:
-            raise CheckpointError(
-                f"checkpoint {checkpoint['path']} changed since the cell "
-                f"was built (digest mismatch)")
-        if loaded.payload["config"] != payload["config"]:
-            raise CheckpointError(
-                f"checkpoint {checkpoint['path']} was saved under "
-                f"configuration {loaded.info.config_name!r}, but this "
-                f"cell runs {config.name!r}; checkpoints resume their "
-                f"own configuration")
-        saved_workload = loaded.payload.get("workload")
-        if saved_workload is not None and (
-                workload_identity(saved_workload)
-                != workload_identity(payload["workload"])):
-            raise CheckpointError(
-                f"checkpoint {checkpoint['path']} was saved for a "
-                f"different workload; restoring its trace cursor into "
-                f"this cell's stream would silently corrupt the run")
-        sim = loaded.restore(trace=workload.build_trace(seed),
-                             phase_profile=phase_profile,
-                             event_bus=event_bus, extra_stages=extra_stages)
-        position = int(checkpoint.get("position", 0))
+        sim, position = _restore_checkpoint_base(
+            payload, workload, seed, phase_profile=phase_profile,
+            event_bus=event_bus, extra_stages=extra_stages)
     else:
+        position = 0
         sim = Simulator(config, workload.build_trace(seed),
                         phase_profile=phase_profile,
                         event_bus=event_bus, extra_stages=extra_stages)
@@ -503,15 +591,197 @@ def simulate_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
             "peak_rss_kb": peak_rss_kb()}
 
 
+# ---------------------------------------------------------------------------
+# Checkpoint-producing cells
+
+
+def checkpoint_store_path(options: EngineOptions) -> Optional[Path]:
+    """Where produced checkpoints live: ``<cache_dir>/checkpoints``, or
+    ``None`` when the persistent cache is disabled (callers then supply
+    a temporary store for the run)."""
+    cache = options.cache_path()
+    return None if cache is None else cache / "checkpoints"
+
+
+def checkpoint_store_ref(path) -> Optional[Dict[str, Any]]:
+    """A verified ``{path, digest, position}`` ref for a store entry, or
+    ``None`` when the entry is absent, truncated, tampered or written by
+    a different format version — all of which read as cache misses, so
+    the producing cell simply regenerates the file."""
+    from repro.checkpoint.format import CheckpointError, load_checkpoint
+
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        info = load_checkpoint(path).info    # full payload digest verify
+    except (OSError, CheckpointError):
+        return None
+    position = int(info.provenance.get("stream_uops", info.uops_committed))
+    return {"path": str(path), "digest": info.digest, "position": position}
+
+
+def produce_payload(base: Dict[str, Any], position: int, store, *,
+                    checkpoint: Optional[Dict[str, Any]] = None
+                    ) -> Dict[str, Any]:
+    """Compile a checkpoint-producing cell from a measurement base.
+
+    The cell functionally fast-forwards to stream ``position`` (from the
+    optional base ``checkpoint`` ref, else from µop zero) and captures a
+    purely functional checkpoint into ``store``. All timed volumes are
+    zeroed — the cell simulates no detailed cycle, so its output rebases
+    cleanly across scheduling-policy configs.
+    """
+    payload = {key: value for key, value in base.items()
+               if key not in ("sampling", "produce", "checkpoint",
+                              "checkpoint_store")}
+    payload.update({
+        "warmup_uops": 0,
+        "measure_uops": 0,
+        "functional_warmup_uops": 0,
+        "produce": {"position": int(position)},
+        "checkpoint_store": str(store),
+    })
+    if checkpoint is not None:
+        payload["checkpoint"] = {"path": checkpoint["path"],
+                                 "digest": checkpoint["digest"],
+                                 "position": checkpoint["position"]}
+    return payload
+
+
+def produce_checkpoint(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Materialize one checkpoint-producing cell; returns its store ref.
+
+    The output file is content-addressed by the cell key at
+    ``<checkpoint_store>/<key>.ckpt``; an existing verified entry
+    short-circuits the simulation (the store doubles as the cache).
+    Writes are atomic, so concurrent producers of the same cell are
+    harmless.
+    """
+    from repro.checkpoint.format import (
+        CHECKPOINT_SUFFIX, CheckpointError, save_checkpoint)
+    from repro.common.config import SimConfig
+
+    produce = payload["produce"]
+    store = Path(payload["checkpoint_store"])
+    key = cell_key(payload)
+    out = store / f"{key}{CHECKPOINT_SUFFIX}"
+    cached = checkpoint_store_ref(out)
+    if cached is not None:
+        return cached
+
+    config = SimConfig.from_dict(payload["config"]).validate()
+    workload = workload_from_payload(payload["workload"])
+    seed = cell_seed(payload)
+    if payload.get("checkpoint") is not None:
+        sim, position = _restore_checkpoint_base(payload, workload, seed)
+    else:
+        sim = Simulator(config, workload.build_trace(seed))
+        position = 0
+    target = int(produce["position"])
+    gap = target - position
+    if gap < 0:
+        raise CheckpointError(
+            f"checkpoint base at stream position {position} is already "
+            f"past the produce target {target}")
+    consumed = sim.fast_forward(gap, mode=payload.get("warming"))
+    stream_uops = position + consumed
+
+    store.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=store, suffix=".tmp")
+    os.close(fd)
+    try:
+        info = save_checkpoint(
+            sim, tmp_name, workload=workload, seed=seed,
+            provenance={"mode": "functional", "stream_uops": stream_uops,
+                        "cell_key": key})
+        os.replace(tmp_name, out)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return {"path": str(out), "digest": info.digest,
+            "position": stream_uops}
+
+
+def produce_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker wrapper around :func:`produce_checkpoint` with telemetry,
+    mirroring :func:`simulate_cell`'s result shape (``checkpoint``
+    replaces ``stats``)."""
+    from time import perf_counter
+
+    from repro.telemetry.manifest import peak_rss_kb
+
+    start = perf_counter()
+    ref = produce_checkpoint(payload)
+    return {"checkpoint": ref,
+            "wall_seconds": perf_counter() - start,
+            "peak_rss_kb": peak_rss_kb()}
+
+
+def run_produce_cells(payloads: Sequence[Dict[str, Any]],
+                      options: Optional[EngineOptions] = None,
+                      progress=None) -> List[Dict[str, Any]]:
+    """Execute checkpoint-producing cells; refs in payload order.
+
+    The checkpoint store *is* the cache: an existing verified entry for
+    a cell's key is returned without simulating. Executed cells write
+    run manifests exactly like measurement cells (``produce_position``
+    marks them), so sweep ETAs account for warming work too.
+    """
+    from repro.telemetry.manifest import (
+        build_manifest, manifests_dir, write_manifest)
+
+    options = options or EngineOptions.from_env()
+    manifest_path = manifests_dir(options.cache_path())
+    results: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+    pending: Dict[str, List[int]] = {}
+    for index, payload in enumerate(payloads):
+        key = cell_key(payload)
+        ref = checkpoint_store_ref(
+            Path(payload["checkpoint_store"]) / f"{key}.ckpt")
+        if ref is not None:
+            results[index] = ref
+        else:
+            pending.setdefault(key, []).append(index)
+
+    if pending:
+        def on_result(key: str, cell: Dict[str, Any],
+                      done: int, total: int) -> None:
+            for index in pending[key]:
+                results[index] = dict(cell["checkpoint"])
+            manifest = build_manifest(
+                payloads[pending[key][0]], key, cached=False,
+                wall_seconds=cell["wall_seconds"],
+                peak_rss_kb=cell["peak_rss_kb"], jobs=options.jobs)
+            if manifest_path is not None:
+                write_manifest(manifest_path, manifest)
+            if progress is not None:
+                progress(done, total, manifest)
+
+        options.execution_backend().execute(
+            [(key, payloads[indices[0]])
+             for key, indices in pending.items()],
+            produce_cell, on_result)
+
+    assert all(r is not None for r in results)
+    return results     # type: ignore[return-value]
+
+
 def run_cells(payloads: Sequence[Dict[str, Any]],
               options: Optional[EngineOptions] = None,
               cache: Optional[ResultCache] = None,
               progress=None) -> List[SimStats]:
     """Execute a batch of cells, returning stats in payload order.
 
-    Cache hits (memory, then disk) are never re-simulated; misses run
-    inline when ``options.jobs == 1`` and across a process pool
-    otherwise. Duplicate payloads in one batch simulate once.
+    Cache hits (memory, then disk) are never re-simulated; misses are
+    dispatched through ``options.execution_backend()`` — inline or a
+    local process pool by default, the spool work queue under
+    ``REPRO_BACKEND=queue``. Caching stays on this (submitter) side of
+    the backend seam, so every backend produces byte-identical cache
+    entries. Duplicate payloads in one batch simulate once.
 
     ``progress`` (``callable(done, total, manifest)``) is invoked once
     per *simulated* cell as results land (completion order, not payload
@@ -521,8 +791,6 @@ def run_cells(payloads: Sequence[Dict[str, Any]],
     by the cell key, overwritten on re-execution — for ``repro report
     manifests`` (see :mod:`repro.telemetry.manifest`).
     """
-    from concurrent.futures import as_completed
-
     from repro.telemetry.manifest import (
         build_manifest, manifests_dir, peak_rss_kb, write_manifest)
 
@@ -556,25 +824,16 @@ def run_cells(payloads: Sequence[Dict[str, Any]],
 
     if pending:
         todo = [(key, indices[0]) for key, indices in pending.items()]
-        total = len(todo)
         cells: Dict[str, Dict[str, Any]] = {}
-        if options.jobs > 1 and len(todo) > 1:
-            workers = min(options.jobs, len(todo))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(simulate_cell, payloads[i]): (k, i)
-                           for k, i in todo}
-                done = 0
-                for future in as_completed(futures):
-                    key, first_index = futures[future]
-                    cell = future.result()
-                    cells[key] = cell
-                    done += 1
-                    note(key, first_index, cell, done, total)
-        else:
-            for done, (key, first_index) in enumerate(todo, start=1):
-                cell = simulate_cell(payloads[first_index])
-                cells[key] = cell
-                note(key, first_index, cell, done, total)
+
+        def on_result(key: str, cell: Dict[str, Any],
+                      done: int, total: int) -> None:
+            cells[key] = cell
+            note(key, pending[key][0], cell, done, total)
+
+        options.execution_backend().execute(
+            [(key, payloads[i]) for key, i in todo],
+            simulate_cell, on_result)
         for key, first_index in todo:
             stats = SimStats.from_dict(cells[key]["stats"])
             cache.put(key, stats, payloads[first_index])
@@ -597,6 +856,10 @@ def run_cells(payloads: Sequence[Dict[str, Any]],
 
 # ---------------------------------------------------------------------------
 # Declarative sweeps
+
+
+#: Sampled-cell compilation modes a sweep's ``[sampling] mode`` may name.
+SAMPLING_MODES = ("cells-chained", "cells")
 
 
 @dataclass(frozen=True)
@@ -625,7 +888,12 @@ class Sweep:
     SamplingSpec`: ``intervals``, ``interval_uops``, ``warmup_uops``,
     ``period_uops``, ``offset_uops``) switches every cell of the sweep
     to SMARTS-style interval sampling; the per-cell volume fields above
-    are then superseded by the spec's per-interval volumes.
+    are then superseded by the spec's per-interval volumes. Its
+    ``mode`` key picks the cell compilation: ``"cells-chained"``
+    (default — each interval chains off the previous interval's
+    checkpoint, one warming pass per workload rebased across the
+    config grid) or ``"cells"`` (legacy — every interval fast-forwards
+    from µop zero). Both produce bit-identical results.
     """
 
     name: str
@@ -636,7 +904,7 @@ class Sweep:
     measure_uops: Optional[int] = None
     functional_warmup_uops: Optional[int] = None
     seed: Optional[int] = None
-    sampling: Optional[Dict[str, int]] = None
+    sampling: Optional[Dict[str, Any]] = None
 
     def sampling_spec(self):
         """The validated :class:`SamplingSpec`, or ``None``."""
@@ -644,7 +912,18 @@ class Sweep:
             return None
         from repro.checkpoint.sampling import SamplingSpec
 
-        return SamplingSpec.from_dict(self.sampling)
+        data = {key: value for key, value in self.sampling.items()
+                if key != "mode"}
+        return SamplingSpec.from_dict(data)
+
+    def sampling_mode(self) -> str:
+        """The sampled-cell compilation mode (see class docstring)."""
+        mode = (self.sampling or {}).get("mode", "cells-chained")
+        if mode not in SAMPLING_MODES:
+            raise ValueError(
+                f"unknown sampling mode {mode!r} in sweep {self.name!r} "
+                f"(choose from: {', '.join(SAMPLING_MODES)})")
+        return mode
 
     def validate(self) -> "Sweep":
         labels = [s.label for s in self.series]
@@ -659,6 +938,7 @@ class Sweep:
         for workload in self.workloads or ():
             resolve_workload(workload)      # fail fast on workload typos
         self.sampling_spec()                # fail fast on sampling typos
+        self.sampling_mode()
         return self
 
     # -- construction ----------------------------------------------------

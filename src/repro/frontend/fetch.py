@@ -207,8 +207,22 @@ class FetchStage:
         self.stats.bump("fetch_redirects")
 
     def squash_all(self, now: int) -> None:
-        """Full frontend flush (memory-order violation refetch)."""
+        """Full frontend flush (memory-order violation refetch).
+
+        Unlike a branch redirect — where everything still inside the
+        frontend is wrong-path by construction — a violation can flush
+        while the pipe holds *correct-path* µops fetched after the last
+        branch resolved. Dropping those would lose trace µops forever
+        (the trace cursor never rewinds), so they are salvaged into the
+        replay queue as fresh clones; only wrong-path filler is
+        discarded. The caller re-injects the squashed ROB occupants
+        *after* this, putting them ahead of the salvaged µops in
+        program order.
+        """
+        salvaged = [u.clone_arch() for _, u in self.pipe
+                    if not u.wrong_path]
         self.redirect(now)
+        self.inject_refetch(salvaged)
 
     def inject_refetch(self, uops_in_program_order: List[MicroOp]) -> None:
         """Queue squashed correct-path µops for re-fetch (violations).

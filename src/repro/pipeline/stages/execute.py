@@ -243,7 +243,7 @@ class Execute(Stage):
         self._kill_uops(doomed)
         self.renamer.rollback(doomed)
         refetch = [u.clone_arch() for u in reversed(doomed) if not u.wrong_path]
-        self.frontend.redirect(now)
+        self.frontend.squash_all(now)
         self.frontend.inject_refetch(refetch)
         self._note_squash("violation", offender, doomed, now)
 

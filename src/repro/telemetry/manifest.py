@@ -103,6 +103,9 @@ def build_manifest(payload: Dict[str, Any], key: str, *,
     sampling = payload.get("sampling")
     if sampling is not None:
         record["sampling_interval"] = sampling.get("index")
+    produce = payload.get("produce")
+    if produce is not None:
+        record["produce_position"] = produce.get("position")
     return record
 
 

@@ -28,11 +28,12 @@ keys can never match a re-recorded trace.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from repro.common.serialize import stable_hash
+from repro.common.serialize import canonical_json, stable_hash
 from repro.traces.format import FileTrace, TRACE_SUFFIX, TraceInfo, read_info
 from repro.traces.scenario import ScenarioSpec
 from repro.workloads.spec import WorkloadSpec
@@ -113,11 +114,16 @@ def workload_identity(data: Dict[str, Any]) -> Dict[str, Any]:
     only on the recorded stream (digest + wrong-path seed + length) — the
     same recording at two paths, or on two machines sharing a cache,
     hits the same entries.
+
+    The view is JSON-canonical (tuples become lists), so identities
+    compare equal across a JSON round-trip — a payload that travelled
+    through the spool work queue must match the identity a checkpoint
+    recorded in-process.
     """
     if data.get("kind") == "trace":
         return {"kind": "trace", "digest": data["digest"],
                 "wp_seed": data["wp_seed"], "uop_count": data["uop_count"]}
-    return data
+    return json.loads(canonical_json(data))
 
 
 def workload_from_payload(data: Dict[str, Any]) -> WorkloadLike:

@@ -221,9 +221,13 @@ def test_sampled_sweep_carries_confidence_intervals():
     assert set(result.ipc_ci) == {"base", "spec"}
     mean_ipc, half = result.ipc_ci["spec"]["gzip"]
     assert mean_ipc > 0 and half >= 0
-    # The grid entry is the counter-wise interval sum.
+    # The grid entry is the counter-wise interval sum. Each interval's
+    # warmup/measure boundary lands on a retire-group edge, so a cell's
+    # committed count wobbles by up to retire_width-1 µops around the
+    # interval target.
     total = result.get("spec", "gzip")
-    assert total.committed_uops >= SPEC.intervals * SPEC.interval_uops
+    slop = SPEC.intervals * (make_config("SpecSched_4").core.retire_width - 1)
+    assert total.committed_uops >= SPEC.intervals * SPEC.interval_uops - slop
     rendered = sampling_table(result)
     assert "±" in rendered and "gzip" in rendered
 

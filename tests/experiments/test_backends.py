@@ -1,0 +1,246 @@
+"""Execution-backend seam: local pool vs file/spool queue.
+
+The contract under test (normative copy in ``docs/ARCHITECTURE.md``):
+every backend runs the same module-level worker over the same (key,
+payload) cells and streams results back in completion order — so the
+engine's cache entries are byte-identical whichever backend computed
+them. The queue backend adds crash-safety mechanics (atomic rename
+claims, stale-claim requeue, submitter timeout) that get their own
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.presets import make_config
+from repro.experiments.backends import (
+    SPOOL_SCHEMA,
+    BackendError,
+    LocalPoolBackend,
+    QueueBackend,
+    drain_spool,
+    requeue_stale,
+)
+from repro.experiments.engine import (
+    EngineOptions,
+    ResultCache,
+    base_cell_payload,
+    cell_key,
+    run_cells,
+    simulate_cell,
+)
+from repro.traces.registry import resolve_workload
+
+
+def _payloads(n=2):
+    gzip = resolve_workload("gzip")
+    return [base_cell_payload(make_config("Baseline_0"), gzip,
+                              warmup_uops=50, measure_uops=150 + 10 * i,
+                              functional_warmup_uops=0, seed=1)
+            for i in range(n)]
+
+
+def _cells(payloads):
+    return [(cell_key(p), p) for p in payloads]
+
+
+def _drain_in_thread(spool, **kwargs):
+    kwargs.setdefault("idle_timeout", 5.0)
+    thread = threading.Thread(target=drain_spool, args=(spool,),
+                              kwargs=kwargs, daemon=True)
+    thread.start()
+    return thread
+
+
+# ---------------------------------------------------------------------------
+# Local pool
+
+
+def test_local_pool_streams_every_cell_inline():
+    cells = _cells(_payloads(3))
+    seen = []
+    LocalPoolBackend(jobs=1).execute(
+        cells, simulate_cell,
+        lambda key, cell, done, total: seen.append((key, done, total)))
+    assert [key for key, _, _ in seen] == [key for key, _ in cells]
+    assert [(done, total) for _, done, total in seen] == \
+        [(1, 3), (2, 3), (3, 3)]
+
+
+# ---------------------------------------------------------------------------
+# Queue backend round trip
+
+
+def test_queue_backend_round_trip(tmp_path):
+    cells = _cells(_payloads(2))
+    spool = tmp_path / "spool"
+    results = {}
+    worker = _drain_in_thread(spool)
+    QueueBackend(spool, timeout=60).execute(
+        cells, simulate_cell,
+        lambda key, cell, done, total: results.setdefault(key, cell))
+    worker.join(timeout=10)
+    local = {}
+    LocalPoolBackend(jobs=1).execute(
+        cells, simulate_cell,
+        lambda key, cell, done, total: local.setdefault(key, cell))
+    assert set(results) == set(local)
+    for key in local:
+        assert results[key]["stats"] == local[key]["stats"]
+
+
+def test_queue_and_local_backends_write_identical_cache_bytes(tmp_path):
+    payloads = _payloads(2)
+    opts_local = EngineOptions(jobs=1, cache_dir=str(tmp_path / "a"))
+    cache_a = ResultCache(opts_local.cache_path())
+    stats_local = run_cells(payloads, options=opts_local, cache=cache_a)
+
+    spool = tmp_path / "spool"
+    opts_queue = EngineOptions(jobs=1, cache_dir=str(tmp_path / "b"),
+                               backend="queue", spool_dir=str(spool))
+    worker = _drain_in_thread(spool)
+    cache_b = ResultCache(opts_queue.cache_path())
+    stats_queue = run_cells(payloads, options=opts_queue, cache=cache_b)
+    worker.join(timeout=10)
+
+    assert [s.to_dict() for s in stats_local] == \
+        [s.to_dict() for s in stats_queue]
+    entries_a = sorted((tmp_path / "a").rglob("*.json"))
+    entries_b = sorted((tmp_path / "b").rglob("*.json"))
+    named_a = {p.name: p.read_bytes() for p in entries_a
+               if "manifest" not in str(p)}
+    named_b = {p.name: p.read_bytes() for p in entries_b
+               if "manifest" not in str(p) and "spool" not in str(p)}
+    assert named_a and set(named_a) == set(named_b)
+    for name, blob in named_a.items():
+        assert named_b[name] == blob, f"cache entry {name} differs"
+
+
+def test_concurrent_workers_claim_each_task_exactly_once(tmp_path):
+    cells = _cells(_payloads(4))
+    spool = tmp_path / "spool"
+    tasks = spool / "tasks"
+    for key, payload in cells:
+        record = {"schema": SPOOL_SCHEMA, "key": key,
+                  "worker": "simulate_cell", "payload": payload}
+        tasks.mkdir(parents=True, exist_ok=True)
+        (tasks / f"{key}.json").write_text(json.dumps(record))
+    counts = []
+    threads = [threading.Thread(
+        target=lambda: counts.append(drain_spool(spool, idle_timeout=0.5)))
+        for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert sum(counts) == len(cells)    # rename claim: exactly one winner
+    results = sorted((spool / "results").glob("*.json"))
+    assert {p.stem for p in results} == {key for key, _ in cells}
+
+
+# ---------------------------------------------------------------------------
+# Failure modes
+
+
+def test_worker_failure_propagates_as_backend_error(tmp_path):
+    payload = _payloads(1)[0]
+    del payload["config"]               # simulate_cell will blow up
+    spool = tmp_path / "spool"
+    worker = _drain_in_thread(spool)
+    with pytest.raises(BackendError, match="queue worker failed"):
+        QueueBackend(spool, timeout=60).execute(
+            [("broken", payload)], simulate_cell,
+            lambda *args: None)
+    worker.join(timeout=10)
+
+
+def test_queue_backend_times_out_without_workers(tmp_path):
+    cells = _cells(_payloads(1))
+    with pytest.raises(BackendError, match="timed out"):
+        QueueBackend(tmp_path / "spool", timeout=0.3,
+                     poll_interval=0.02).execute(
+            cells, simulate_cell, lambda *args: None)
+
+
+def test_queue_backend_rejects_unknown_worker(tmp_path):
+    def mystery(payload):
+        return {}
+
+    with pytest.raises(BackendError, match="cannot dispatch"):
+        QueueBackend(tmp_path / "spool").execute(
+            [("k", {})], mystery, lambda *args: None)
+
+
+def test_drain_spool_ignores_malformed_tasks(tmp_path):
+    spool = tmp_path / "spool"
+    tasks = spool / "tasks"
+    tasks.mkdir(parents=True)
+    (tasks / "junk.json").write_text("{not json")
+    (tasks / "wrong-schema.json").write_text(
+        json.dumps({"schema": 99, "key": "x", "worker": "simulate_cell",
+                    "payload": {}}))
+    assert drain_spool(spool, idle_timeout=0.0) == 0
+    assert not list((spool / "results").glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Worker-loop controls
+
+
+def test_drain_spool_max_tasks_stops_early(tmp_path):
+    cells = _cells(_payloads(3))
+    spool = tmp_path / "spool"
+    tasks = spool / "tasks"
+    tasks.mkdir(parents=True)
+    for key, payload in cells:
+        (tasks / f"{key}.json").write_text(json.dumps(
+            {"schema": SPOOL_SCHEMA, "key": key,
+             "worker": "simulate_cell", "payload": payload}))
+    assert drain_spool(spool, max_tasks=2) == 2
+    assert len(list(tasks.glob("*.json"))) == 1
+
+
+def test_requeue_stale_restores_crash_debris(tmp_path):
+    spool = tmp_path / "spool"
+    claimed = spool / "claimed"
+    claimed.mkdir(parents=True)
+    (claimed / "dead.json").write_text(json.dumps(
+        {"schema": SPOOL_SCHEMA, "key": "dead",
+         "worker": "simulate_cell", "payload": {}}))
+    assert requeue_stale(spool) == 1
+    assert (spool / "tasks" / "dead.json").exists()
+    assert not list(claimed.glob("*.json"))
+    assert requeue_stale(spool) == 0    # idempotent on an empty claimed/
+
+
+# ---------------------------------------------------------------------------
+# Options plumbing
+
+
+def test_engine_options_backend_from_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BACKEND", "queue")
+    monkeypatch.setenv("REPRO_SPOOL_DIR", str(tmp_path / "sp"))
+    options = EngineOptions.from_env()
+    assert options.backend == "queue"
+    assert options.spool_path() == tmp_path / "sp"
+    assert isinstance(options.execution_backend(), QueueBackend)
+
+
+def test_spool_defaults_under_cache_dir(tmp_path):
+    options = EngineOptions(cache_dir=str(tmp_path), backend="queue")
+    assert options.spool_path() == tmp_path / "spool"
+
+
+def test_queue_without_cache_or_spool_refused():
+    options = EngineOptions(cache_dir="off", backend="queue")
+    with pytest.raises(ValueError, match="spool"):
+        options.spool_path()
+
+
+def test_unknown_backend_name_refused():
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        EngineOptions(backend="carrier-pigeon").execution_backend()

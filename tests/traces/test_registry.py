@@ -198,5 +198,13 @@ def test_workload_identity_drops_trace_location(trace_file, tmp_path):
     a = workload_identity(workload_payload(TraceWorkload(trace_file)))
     b = workload_identity(workload_payload(TraceWorkload(copy)))
     assert a == b
+    # Spec identities are JSON-canonical: equal to the payload modulo
+    # container type (tuples become lists), so a payload that crossed a
+    # JSON boundary (the spool work queue) compares equal to one that
+    # stayed in-process.
+    import json
+
     spec_payload = workload_payload(SUITE["gzip"])
-    assert workload_identity(spec_payload) == spec_payload
+    identity = workload_identity(spec_payload)
+    assert identity == json.loads(json.dumps(spec_payload))
+    assert identity == workload_identity(json.loads(json.dumps(spec_payload)))
