@@ -1,0 +1,99 @@
+# dhry-mix: dhrystone-style mixed loop.
+#
+# Each of the 48 outer iterations does integer arithmetic, copies a
+# six-word record between two buffers, runs a branchy classifier over
+# the copied payload, and calls a leaf routine through a real call/ret
+# pair (so the RAS sees genuine call depth). Halts with ebreak.
+#
+# Buffers: record source at 0x1000, destination at 0x1100, result log
+# at 0x1200 (one word per iteration).
+
+    li   sp, 0x8000          # stack for the nested call
+    li   s0, 0x1000          # record source
+    li   s1, 0x1100          # record destination
+    li   s2, 0x1200          # result log
+    li   s3, 0               # iteration counter
+    li   s4, 48              # iterations
+
+init_record:                 # fill the source record: r[i] = 7*i + 3
+    li   t0, 0               # word index
+    li   t1, 3               # value
+fill:
+    slli t2, t0, 2
+    add  t2, t2, s0
+    sw   t1, 0(t2)
+    addi t1, t1, 7
+    addi t0, t0, 1
+    slti t3, t0, 6
+    bnez t3, fill
+
+outer:
+    # -- arithmetic block: mix of add/sub/logic over the counter
+    slli t0, s3, 3
+    xori t0, t0, 0x55
+    sub  t1, t0, s3
+    andi t1, t1, 0xFF
+    or   t2, t0, t1
+    sltu t3, t1, t2
+
+    # -- record copy: six words, source -> destination
+    li   t4, 0
+copy:
+    slli t5, t4, 2
+    add  t6, t5, s0
+    lw   a0, 0(t6)
+    add  t6, t5, s1
+    sw   a0, 0(t6)
+    addi t4, t4, 1
+    slti t5, t4, 6
+    bnez t5, copy
+
+    # -- classifier: branch on the copied payload's middle word
+    lw   a1, 8(s1)
+    andi a2, a1, 3
+    beqz a2, class_zero
+    addi a3, a2, -1
+    beqz a3, class_one
+    addi a3, a2, -2
+    beqz a3, class_two
+    addi a4, a1, 100         # class three
+    j    classified
+class_zero:
+    slli a4, a1, 1
+    j    classified
+class_one:
+    srli a4, a1, 1
+    j    classified
+class_two:
+    xori a4, a1, -1
+classified:
+
+    # -- leaf call: a4 -> weighted checksum in a0
+    mv   a0, a4
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    call weigh
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+
+    # -- log the result, mutate the source record for next time
+    slli t0, s3, 2
+    add  t0, t0, s2
+    sw   a0, 0(t0)
+    lw   t1, 0(s0)
+    add  t1, t1, a0
+    andi t1, t1, 0x7FF
+    sw   t1, 0(s0)
+
+    addi s3, s3, 1
+    blt  s3, s4, outer
+    ebreak
+
+weigh:                       # a0 = (a0>>3) + (a0<<1) + iteration, clamped
+    srai t0, a0, 3
+    slli t1, a0, 1
+    add  a0, t0, t1
+    add  a0, a0, s3
+    li   t2, 0xFFFF
+    and  a0, a0, t2
+    ret

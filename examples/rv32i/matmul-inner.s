@@ -1,0 +1,113 @@
+# matmul-inner: 8x8 matrix inner products, software multiply.
+#
+# C[i][j] = sum_k A[i][k] * B[k][j] over 8x8 operand matrices. RV32I
+# has no multiply instruction, so the inner loop calls a shift-add
+# `mul` routine (early exit when the multiplier runs out of set bits).
+# The dependence shape — two strided loads feeding a short call, the
+# product accumulating into a loop-carried sum — is the textbook
+# inner-product recurrence.
+#
+# A at 0x4000, B at 0x4100, C at 0x4200; all row-major words.
+
+    li   sp, 0x8000
+    li   s0, 0x4000          # A
+    li   s1, 0x4100          # B
+    li   s2, 0x4200          # C
+
+# -- init: A[i][k] = (i+k)&7, B[k][j] = (k^j)&7 (small operands keep
+#    the shift-add multiply short)
+    li   t0, 0               # i
+init_i:
+    li   t1, 0               # k
+init_k:
+    add  t2, t0, t1
+    andi t2, t2, 7
+    slli t3, t0, 5           # i*32 (row stride: 8 words)
+    slli t4, t1, 2
+    add  t3, t3, t4
+    add  t5, t3, s0
+    sw   t2, 0(t5)           # A[i][k]
+    xor  t2, t0, t1
+    andi t2, t2, 7
+    slli t3, t1, 5           # row k of B
+    slli t4, t0, 2           # column i
+    add  t3, t3, t4
+    add  t5, t3, s1
+    sw   t2, 0(t5)           # B[k][i]
+    addi t1, t1, 1
+    slti t6, t1, 8
+    bnez t6, init_k
+    addi t0, t0, 1
+    slti t6, t0, 8
+    bnez t6, init_i
+
+# -- product: three nested loops, call mul per k step
+    li   s3, 0               # i
+loop_i:
+    li   s4, 0               # j
+loop_j:
+    li   s5, 0               # k
+    li   s6, 0               # acc
+loop_k:
+    slli t0, s3, 5
+    slli t1, s5, 2
+    add  t0, t0, t1
+    add  t0, t0, s0
+    lw   a0, 0(t0)           # A[i][k]
+    slli t0, s5, 5
+    slli t1, s4, 2
+    add  t0, t0, t1
+    add  t0, t0, s1
+    lw   a1, 0(t0)           # B[k][j]
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    call mul
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    add  s6, s6, a0
+    addi s5, s5, 1
+    slti t2, s5, 8
+    bnez t2, loop_k
+    # C[i][j] = acc
+    slli t0, s3, 5
+    slli t1, s4, 2
+    add  t0, t0, t1
+    add  t0, t0, s2
+    sw   s6, 0(t0)
+    addi s4, s4, 1
+    slti t2, s4, 8
+    bnez t2, loop_j
+    addi s3, s3, 1
+    slti t2, s3, 8
+    bnez t2, loop_i
+
+# -- fold C into one checksum word at 0x4400
+    li   t0, 0               # flat index
+    li   a2, 0               # checksum
+fold:
+    slli t1, t0, 2
+    add  t1, t1, s2
+    lw   t2, 0(t1)
+    add  a2, a2, t2
+    xor  a2, a2, t0
+    addi t0, t0, 1
+    slti t3, t0, 64
+    bnez t3, fold
+    li   t4, 0x4400
+    sw   a2, 0(t4)
+    ebreak
+
+mul:                         # a0 = a0 * a1 (unsigned shift-add)
+    li   t0, 0               # product
+mul_loop:
+    beqz a1, mul_done        # early exit: multiplier exhausted
+    andi t1, a1, 1
+    beqz t1, mul_skip
+    add  t0, t0, a0
+mul_skip:
+    slli a0, a0, 1
+    srli a1, a1, 1
+    j    mul_loop
+mul_done:
+    mv   a0, t0
+    ret

@@ -1,0 +1,66 @@
+# memcpy-stream: streaming copies and a rolling checksum.
+#
+# Initializes a 96-word source buffer, copies it word-by-word, copies
+# the same 384 bytes again byte-by-byte (lb/sb — the unrolled tail of
+# every real memcpy), then streams back over the word copy accumulating
+# a rotate-and-xor checksum. Long strided load/store runs with almost
+# no branching — the opposite corner of the mix space from
+# state-machine.
+#
+# src at 0x5000, word copy at 0x5800, byte copy at 0x5C00.
+
+    li   s0, 0x5000          # src
+    li   s1, 0x5800          # word-copy dst
+    li   s2, 0x5C00          # byte-copy dst
+    li   s3, 96              # words
+    li   s4, 384             # bytes
+
+# -- init: src[i] = (i*9 + 0x101) via strength-reduced add chain
+    li   t0, 0               # i
+    li   t1, 0x101           # value
+init:
+    slli t2, t0, 2
+    add  t2, t2, s0
+    sw   t1, 0(t2)
+    addi t1, t1, 9
+    addi t0, t0, 1
+    blt  t0, s3, init
+
+# -- pass 1: word memcpy src -> dst1
+    li   t0, 0
+wcopy:
+    slli t2, t0, 2
+    add  t3, t2, s0
+    lw   t4, 0(t3)
+    add  t3, t2, s1
+    sw   t4, 0(t3)
+    addi t0, t0, 1
+    blt  t0, s3, wcopy
+
+# -- pass 2: byte memcpy src -> dst2
+    li   t0, 0
+bcopy:
+    add  t3, t0, s0
+    lb   t4, 0(t3)
+    add  t3, t0, s2
+    sb   t4, 0(t3)
+    addi t0, t0, 1
+    blt  t0, s4, bcopy
+
+# -- pass 3: rolling checksum over the word copy
+    li   t0, 0
+    li   a0, 0
+check:
+    slli t2, t0, 2
+    add  t3, t2, s1
+    lw   t4, 0(t3)
+    xor  a0, a0, t4
+    slli t5, a0, 7           # rotate left by 7
+    srli t6, a0, 25
+    or   a0, t5, t6
+    addi t0, t0, 1
+    blt  t0, s3, check
+
+    li   t1, 0x5F00
+    sw   a0, 0(t1)           # publish the checksum
+    ebreak

@@ -1,0 +1,62 @@
+# ptr-chase: linked-list build + pointer-chasing walk.
+#
+# Builds a 64-node singly linked list whose nodes live at
+# 0x2000 + perm(i)*16, with the visit order scrambled by a
+# multiplicative stride (perm(i) = 17*i mod 64 — 17 is coprime to 64,
+# so the walk touches every node in a cache-hostile order). Each node
+# is {next_ptr, payload}. Then walks the full list 10 times, summing
+# payloads through the loads' address dependence chain — the classic
+# load-to-load critical path no synthetic Table-2 mix reproduces.
+
+    li   s0, 0x2000          # node arena
+    li   s1, 64              # node count
+    li   s2, 17              # stride (coprime to 64)
+
+# -- build: node[perm(i)] -> node[perm(i+1)], payload = perm(i) ^ 0x2A
+    li   t0, 0               # i
+    li   t1, 0               # idx = perm(i), starts at 0
+build:
+    # t2 = &node[idx] = arena + idx*16
+    slli t2, t1, 4
+    add  t2, t2, s0
+    # next idx = (idx + stride) mod 64
+    add  t3, t1, s2
+    andi t3, t3, 63
+    # last node's next pointer is null (0)
+    addi t4, t0, 1
+    blt  t4, s1, not_last
+    sw   x0, 0(t2)
+    j    linked
+not_last:
+    slli t5, t3, 4
+    add  t5, t5, s0
+    sw   t5, 0(t2)           # node.next = &node[next_idx]
+linked:
+    xori t6, t1, 0x2A
+    sw   t6, 4(t2)           # node.payload
+    mv   t1, t3
+    addi t0, t0, 1
+    blt  t0, s1, build
+
+# -- walk: 10 full traversals, address-dependent loads
+    li   s3, 0               # pass counter
+    li   s4, 10              # passes
+    li   a0, 0               # checksum
+walk_pass:
+    mv   t0, s0              # cursor = &node[0]
+chase:
+    lw   t1, 4(t0)           # payload
+    add  a0, a0, t1
+    lw   t0, 0(t0)           # cursor = cursor->next
+    bnez t0, chase
+    # fold the pass number into the checksum, rotate it a little
+    add  a0, a0, s3
+    slli t2, a0, 1
+    srli t3, a0, 31
+    or   a0, t2, t3
+    addi s3, s3, 1
+    blt  s3, s4, walk_pass
+
+    li   t4, 0x3000
+    sw   a0, 0(t4)           # publish the checksum
+    ebreak

@@ -1,0 +1,87 @@
+# state-machine: xorshift-driven branchy dispatch ladder.
+#
+# A xorshift32 PRNG (shifts and xors only — RV32I-friendly) drives 320
+# steps of an 8-state machine. Each step hashes the PRNG output into a
+# state index through a dense compare ladder, runs a short state-specific
+# action, and bumps a per-state histogram in memory. The ladder's
+# data-dependent branches are exactly the hard-to-predict control no
+# synthetic taken-rate knob reproduces.
+#
+# Histogram at 0x6000 (8 words), trail of visited states at 0x6100.
+
+    li   s0, 0x6000          # histogram base
+    li   s1, 0x6100          # state trail
+    li   s2, 0x2545F491      # xorshift seed
+    li   s3, 0               # step counter
+    li   s4, 320             # steps
+    li   s5, 0               # current state
+    li   s6, 0               # running mix
+
+step:
+    # -- xorshift32: x ^= x<<13; x ^= x>>17; x ^= x<<5
+    slli t0, s2, 13
+    xor  s2, s2, t0
+    srli t0, s2, 17
+    xor  s2, s2, t0
+    slli t0, s2, 5
+    xor  s2, s2, t0
+
+    # -- next state = (rand ^ current) & 7, via a compare ladder
+    xor  t1, s2, s5
+    andi t1, t1, 7
+    beqz t1, st0
+    addi t2, t1, -1
+    beqz t2, st1
+    addi t2, t1, -2
+    beqz t2, st2
+    addi t2, t1, -3
+    beqz t2, st3
+    addi t2, t1, -4
+    beqz t2, st4
+    addi t2, t1, -5
+    beqz t2, st5
+    addi t2, t1, -6
+    beqz t2, st6
+st7:
+    xori s6, s6, 0x7F        # state 7: flip low bits
+    j    dispatched
+st0:
+    addi s6, s6, 1           # state 0: count
+    j    dispatched
+st1:
+    slli s6, s6, 1           # state 1: double
+    j    dispatched
+st2:
+    srli s6, s6, 1           # state 2: halve
+    j    dispatched
+st3:
+    add  s6, s6, s2          # state 3: absorb entropy
+    j    dispatched
+st4:
+    sub  s6, s6, s5          # state 4: shed the old state
+    j    dispatched
+st5:
+    or   s6, s6, t1          # state 5: sticky bits
+    j    dispatched
+st6:
+    and  s6, s6, s2          # state 6: mask by entropy
+dispatched:
+    mv   s5, t1              # commit the transition
+
+    # -- histogram[state] += 1
+    slli t3, s5, 2
+    add  t3, t3, s0
+    lw   t4, 0(t3)
+    addi t4, t4, 1
+    sw   t4, 0(t3)
+
+    # -- append to the trail (one byte per step)
+    add  t5, s1, s3
+    sb   s5, 0(t5)
+
+    addi s3, s3, 1
+    blt  s3, s4, step
+
+    li   t6, 0x6300
+    sw   s6, 0(t6)           # publish the running mix
+    ebreak

@@ -1,0 +1,59 @@
+"""Assemble every bundled RV32I listing into its checked-in image.
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/asm_corpus.py [--check]
+
+Without flags, (re)writes ``examples/rv32i/<name>.hex`` for every
+listing in the bundled table. With ``--check``, re-assembles each
+listing and fails if the checked-in image differs (the CI
+assemble-check; also reachable as ``repro rv32i check``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.isa.rv32i.asm import assemble, to_hex
+from repro.isa.rv32i.core import Machine
+from repro.isa.rv32i.corpus import BUNDLED
+
+
+def main(argv) -> int:
+    check = "--check" in argv
+    root = Path(__file__).resolve().parents[1] / "examples/rv32i"
+    failures = 0
+    for name in BUNDLED:
+        listing = root / f"{name}.s"
+        image = root / f"{name}.hex"
+        if not listing.is_file():
+            print(f"{name}: MISSING listing {listing}")
+            failures += 1
+            continue
+        words = assemble(listing.read_text())
+        text = to_hex(words)
+        machine = Machine(words)
+        machine.run(max_steps=2_000_000)
+        status = (f"{len(words)} words, {machine.retired} retired, "
+                  f"halt={machine.halt_reason}")
+        if check:
+            if not image.is_file():
+                print(f"{name}: MISSING image {image}")
+                failures += 1
+            elif image.read_text() != text:
+                print(f"{name}: image DIFFERS from listing ({status})")
+                failures += 1
+            else:
+                print(f"{name}: ok ({status})")
+        else:
+            image.write_text(text)
+            print(f"{name}: wrote {image.name} ({status})")
+        if machine.halt_reason != "ebreak":
+            print(f"{name}: did not halt at ebreak!")
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -36,7 +36,13 @@ Commands:
   ``docs/OBSERVABILITY.md``);
 * ``report manifests`` — roll up the engine's per-cell run manifests
   (wall time, cache hit rate, peak RSS) from the cache directory;
-* ``list`` — available workloads (suite, scenarios, traces) and presets.
+* ``rv32i run PROGRAM`` / ``rv32i capture PROGRAM`` / ``rv32i check`` —
+  execute a real RV32I program image functionally to halt (end-state
+  registers + memory digest), capture its lowered µop stream to the
+  binary trace format, or re-assemble the bundled kernel corpus and
+  verify the checked-in images (see ``docs/RV32I.md``);
+* ``list`` — available workloads (suite, scenarios, traces, rv32i
+  programs) and presets.
 
 Workload arguments resolve through the workload registry
 (:mod:`repro.traces.registry`): suite names, scenario-spec names/files
@@ -346,6 +352,47 @@ def build_parser() -> argparse.ArgumentParser:
                                "by a crashed worker (only safe when no "
                                "other worker is active)")
     _add_engine_flags(worker_p)
+
+    rv32i_p = sub.add_parser(
+        "rv32i", help="run, capture and check real RV32I program images")
+    rv32i_sub = rv32i_p.add_subparsers(dest="rv32i_command", required=True)
+
+    rv_run = rv32i_sub.add_parser(
+        "run", help="execute a program functionally to halt and print "
+                    "its architectural end state")
+    rv_run.add_argument("program",
+                        help="bundled kernel name (see 'repro list') or "
+                             "an image path (.hex/.bin)")
+    rv_run.add_argument("--max-steps", type=int, default=1_000_000,
+                        metavar="N",
+                        help="step cap for runaway programs "
+                             "(default 1000000)")
+    rv_run.add_argument("--regs", action="store_true",
+                        help="print the full register file, not just the "
+                             "non-zero entries")
+
+    rv_capture = rv32i_sub.add_parser(
+        "capture", help="execute a program and record its lowered µop "
+                        "stream to a binary .trc trace")
+    rv_capture.add_argument("program",
+                            help="bundled kernel name or image path")
+    rv_capture.add_argument("-o", "--output", default=None, metavar="FILE",
+                            help="output path (default <program>.trc)")
+    rv_capture.add_argument("--uops", type=int, default=None, metavar="N",
+                            help="µops to capture, looping the program as "
+                                 "needed (default: enough for the current "
+                                 "REPRO_* volumes)")
+    rv_capture.add_argument("--seed", type=int, default=None,
+                            help="wrong-path synthesizer seed (default: "
+                                 "the workload's; never affects the "
+                                 "committed path)")
+    rv_capture.add_argument("--no-compress", action="store_true",
+                            help="store records raw instead of zlib frames")
+
+    rv32i_sub.add_parser(
+        "check", help="re-assemble every bundled kernel listing and "
+                      "verify the checked-in .hex images match "
+                      "byte-for-byte")
 
     sub.add_parser("list", help="available workloads and presets")
     return parser
@@ -973,11 +1020,125 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_rv32i(name: str):
+    """A program argument -> :class:`Rv32iWorkload` (clean errors)."""
+    from repro.isa.rv32i.workload import Rv32iWorkload
+
+    workload = default_registry().resolve(name)
+    if not isinstance(workload, Rv32iWorkload):
+        raise ValueError(
+            f"{name!r} resolves to a {type(workload).__name__}, not an "
+            f"RV32I program; pass a bundled kernel name or a .hex/.bin "
+            f"image path")
+    return workload
+
+
+_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+
+def _cmd_rv32i_run(args: argparse.Namespace) -> int:
+    try:
+        workload = _resolve_rv32i(args.program)
+    except (KeyError, OSError, ValueError) as exc:
+        return _fail(exc)
+    machine = workload.program.machine()
+    retired = machine.run(max_steps=args.max_steps)
+    print(f"{workload.name}: {retired} instructions retired, "
+          f"halt={machine.halt_reason or 'step cap reached'} "
+          f"at pc=0x{machine.pc:x}")
+    print(f"  image      {len(workload.program.words)} words "
+          f"(sha256 {workload.digest[:12]}…)")
+    print(f"  mem digest {machine.memory_digest()}")
+    print(f"  mem bytes  {sum(1 for b in machine.mem.values() if b)} "
+          f"non-zero")
+    for index in range(32):
+        value = machine.regs[index]
+        if args.regs or value:
+            print(f"  x{index:<2d} ({_ABI_NAMES[index]:>4s}) "
+                  f"0x{value:08x}  {value}")
+    return 0 if machine.halted else 1
+
+
+def _cmd_rv32i_capture(args: argparse.Namespace) -> int:
+    try:
+        workload = _resolve_rv32i(args.program)
+    except (KeyError, OSError, ValueError) as exc:
+        return _fail(exc)
+    seed = args.seed if args.seed is not None else workload.seed
+    uops = args.uops if args.uops is not None else default_capture_uops()
+    output = args.output or f"{workload.name}.trc"
+    provenance = {
+        "workload": workload.name,
+        "description": workload.description,
+        "is_fp": workload.is_fp,
+        "seed": seed,
+        "source_hash": workload.content_hash(),
+        "image_sha": workload.digest,
+    }
+    try:
+        info = capture(workload.build_trace(seed), output, uops,
+                       wp_seed=seed, provenance=provenance,
+                       compress=not args.no_compress)
+    except (OSError, ValueError) as exc:
+        return _fail(exc)
+    print(f"captured {info.uop_count} µops of {workload.name!r} -> {output}")
+    print(f"  digest     {info.digest}")
+    print(f"  image sha  {workload.digest}")
+    print(f"  size       {info.file_bytes} bytes")
+    return 0
+
+
+def _cmd_rv32i_check() -> int:
+    from repro.isa.rv32i.asm import AsmError, assemble, to_hex
+    from repro.isa.rv32i.corpus import BUNDLED, bundled_programs
+
+    programs = bundled_programs()
+    if not programs:
+        return _fail(ValueError(
+            "no bundled corpus found (examples/rv32i missing and "
+            "REPRO_RV32I_DIR unset)"))
+    failures = 0
+    for name in BUNDLED:
+        image = programs.get(name)
+        if image is None:
+            print(f"  {name:14s} MISSING image")
+            failures += 1
+            continue
+        listing = image.with_suffix(".s")
+        if not listing.is_file():
+            print(f"  {name:14s} MISSING listing {listing.name}")
+            failures += 1
+            continue
+        try:
+            text = to_hex(assemble(listing.read_text()))
+        except AsmError as exc:
+            print(f"  {name:14s} ASSEMBLY FAILED: {exc}")
+            failures += 1
+            continue
+        if image.read_text() != text:
+            print(f"  {name:14s} STALE: {image.name} differs from "
+                  f"re-assembled {listing.name}")
+            failures += 1
+        else:
+            print(f"  {name:14s} ok ({len(text.splitlines())} words)")
+    if failures:
+        print(f"rv32i check: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print(f"rv32i check: all {len(BUNDLED)} bundled images match their "
+          f"listings")
+    return 0
+
+
 def _cmd_list() -> int:
     registry = default_registry()
     kinds = registry.names()
-    print("workloads (suite + scenario specs + recorded traces on the "
-          "registry search path):")
+    print("workloads (suite + scenario specs + recorded traces + rv32i "
+          "programs on the registry search path):")
     for name, workload in registry.entries():
         kind = kinds.get(name, "suite")
         klass = "FP " if workload.is_fp else "INT"
@@ -1034,6 +1195,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         if args.report_command == "manifests":
             return _cmd_report_manifests(args)
+    if args.command == "rv32i":
+        if args.rv32i_command == "run":
+            return _cmd_rv32i_run(args)
+        if args.rv32i_command == "capture":
+            return _cmd_rv32i_capture(args)
+        if args.rv32i_command == "check":
+            return _cmd_rv32i_check()
     if args.command == "list":
         return _cmd_list()
     return 1

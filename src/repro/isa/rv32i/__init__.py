@@ -1,0 +1,68 @@
+"""Real-ISA workload front: a functional RV32I executor and µop capture.
+
+This package runs real compiled/assembled RV32I programs to completion
+and lowers each retired instruction into the architectural
+:class:`~repro.isa.uop.MicroOp` fields the pipeline consumes — genuine
+loop-carried dependences, real branch correlation and actual address
+reuse, where every other workload in the repository is synthetic.
+
+Layers (each importable on its own):
+
+* :mod:`~repro.isa.rv32i.decode` — pure-python decoder for the full
+  RV32I base set;
+* :mod:`~repro.isa.rv32i.asm` — a minimal two-pass assembler + flat
+  ``.hex`` image codec for the bundled corpus;
+* :mod:`~repro.isa.rv32i.core` — the functional machine (register file,
+  sparse byte memory, run-to-halt);
+* :mod:`~repro.isa.rv32i.lower` — retired instruction -> µop lowering;
+* :mod:`~repro.isa.rv32i.workload` — registry workloads and the
+  :class:`~repro.isa.trace.TraceSource` the pipeline fetches from;
+* :mod:`~repro.isa.rv32i.corpus` — the bundled kernel programs under
+  ``examples/rv32i/``.
+
+See ``docs/RV32I.md`` for the CLI surface and the bring-your-own-program
+guide.
+"""
+
+from repro.isa.rv32i.asm import AsmError, assemble, parse_hex, to_hex
+from repro.isa.rv32i.core import HaltReason, Machine, Retired
+from repro.isa.rv32i.corpus import (
+    BUNDLED,
+    bundled_programs,
+    bundled_workload,
+    corpus_dir,
+    listing_path,
+)
+from repro.isa.rv32i.decode import DecodeError, Instr, decode
+from repro.isa.rv32i.lower import lower
+from repro.isa.rv32i.workload import (
+    RV32I_SUFFIXES,
+    Rv32iError,
+    Rv32iProgram,
+    Rv32iTrace,
+    Rv32iWorkload,
+)
+
+__all__ = [
+    "AsmError",
+    "BUNDLED",
+    "DecodeError",
+    "HaltReason",
+    "Instr",
+    "Machine",
+    "Retired",
+    "RV32I_SUFFIXES",
+    "Rv32iError",
+    "Rv32iProgram",
+    "Rv32iTrace",
+    "Rv32iWorkload",
+    "assemble",
+    "bundled_programs",
+    "bundled_workload",
+    "corpus_dir",
+    "decode",
+    "listing_path",
+    "lower",
+    "parse_hex",
+    "to_hex",
+]

@@ -11,14 +11,17 @@ file exists. Three kinds resolve uniformly:
   files (``.toml``/``.json``), discovered on the search path or given as
   explicit paths;
 * **trace** — recorded binary traces (``.trc``), wrapped in
-  :class:`TraceWorkload`.
+  :class:`TraceWorkload`;
+* **rv32i** — real RV32I program images (``.hex``/``.bin``), wrapped in
+  :class:`~repro.isa.rv32i.workload.Rv32iWorkload`. The bundled kernel
+  corpus under ``examples/rv32i`` resolves by bare name.
 
 The search path is ``REPRO_WORKLOAD_PATH`` (``os.pathsep``-separated
 directories) followed by ``examples/scenarios`` relative to the current
 directory. Names containing a path separator or a recognized suffix
 bypass the search and load directly.
 
-All three kinds satisfy one protocol — ``name``, ``description``,
+All kinds satisfy one protocol — ``name``, ``description``,
 ``is_fp``, ``build_trace(seed)``, ``content_hash()`` — and
 :func:`workload_payload` / :func:`workload_from_payload` give them one
 self-contained, picklable cell-payload encoding for the engine. A trace
@@ -34,15 +37,19 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.common.serialize import canonical_json, stable_hash
+from repro.isa.rv32i.corpus import bundled_workload
+from repro.isa.rv32i.workload import RV32I_SUFFIXES, Rv32iWorkload
 from repro.traces.format import FileTrace, TRACE_SUFFIX, TraceInfo, read_info
 from repro.traces.scenario import ScenarioSpec
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.suite import SUITE
 
 _SCENARIO_SUFFIXES = (".toml", ".json")
+_FILE_SUFFIXES = _SCENARIO_SUFFIXES + (TRACE_SUFFIX,) + RV32I_SUFFIXES
 
 #: Union of everything the registry hands out.
-WorkloadLike = Union[WorkloadSpec, ScenarioSpec, "TraceWorkload"]
+WorkloadLike = Union[WorkloadSpec, ScenarioSpec, "TraceWorkload",
+                     Rv32iWorkload]
 
 
 class TraceWorkload:
@@ -103,6 +110,10 @@ def workload_payload(workload: WorkloadLike) -> Dict[str, Any]:
                 "path": str(workload.path), "digest": workload.digest,
                 "wp_seed": workload.info.wp_seed,
                 "uop_count": workload.info.uop_count}
+    if isinstance(workload, Rv32iWorkload):
+        return {"kind": "rv32i", "name": workload.name,
+                "path": str(workload.path), "digest": workload.digest,
+                "seed": workload.seed}
     raise TypeError(f"not a registry workload: {type(workload).__name__}")
 
 
@@ -123,6 +134,11 @@ def workload_identity(data: Dict[str, Any]) -> Dict[str, Any]:
     if data.get("kind") == "trace":
         return {"kind": "trace", "digest": data["digest"],
                 "wp_seed": data["wp_seed"], "uop_count": data["uop_count"]}
+    if data.get("kind") == "rv32i":
+        # The committed path is a pure function of the image; the cell's
+        # own seed field already keys the wrong-path stream. Location and
+        # display name are irrelevant to what gets simulated.
+        return {"kind": "rv32i", "image_sha": data["digest"]}
     return json.loads(canonical_json(data))
 
 
@@ -139,6 +155,14 @@ def workload_from_payload(data: Dict[str, Any]) -> WorkloadLike:
             raise ValueError(
                 f"trace {data['path']} changed since the cell was built "
                 f"(digest mismatch)")
+        return workload
+    if kind == "rv32i":
+        workload = Rv32iWorkload(data["path"], name=data.get("name"),
+                                 seed=data.get("seed", 1))
+        if workload.digest != data["digest"]:
+            raise ValueError(
+                f"rv32i image {data['path']} changed since the cell was "
+                f"built (digest mismatch)")
         return workload
     raise ValueError(f"unknown workload payload kind {kind!r}")
 
@@ -177,8 +201,7 @@ class WorkloadRegistry:
             return name
         text = str(name)
         path = Path(text)
-        if os.sep in text or path.suffix.lower() in (
-                _SCENARIO_SUFFIXES + (TRACE_SUFFIX,)):
+        if os.sep in text or path.suffix.lower() in _FILE_SUFFIXES:
             if not path.exists():
                 raise KeyError(f"workload file {text!r} does not exist")
             return self._load_file(path)
@@ -186,8 +209,11 @@ class WorkloadRegistry:
             return SUITE[text]
         if text in self._registered:
             return self._registered[text]
+        bundled = bundled_workload(text)
+        if bundled is not None:
+            return bundled
         for directory in self.search_paths:
-            for suffix in _SCENARIO_SUFFIXES + (TRACE_SUFFIX,):
+            for suffix in _FILE_SUFFIXES:
                 candidate = directory / f"{text}{suffix}"
                 if candidate.exists():
                     return self._load_file(candidate)
@@ -202,6 +228,8 @@ class WorkloadRegistry:
             return ScenarioSpec.from_file(path)
         if suffix == TRACE_SUFFIX:
             return TraceWorkload(path)
+        if suffix in RV32I_SUFFIXES:
+            return Rv32iWorkload(path)
         raise KeyError(f"unsupported workload file type {path.suffix!r}")
 
     # -- enumeration -----------------------------------------------------
@@ -211,6 +239,9 @@ class WorkloadRegistry:
         out: Dict[str, str] = {name: "suite" for name in SUITE}
         for name, workload in self._registered.items():
             out.setdefault(name, _kind_of(workload))
+        from repro.isa.rv32i.corpus import bundled_programs
+        for name in bundled_programs():
+            out.setdefault(name, "rv32i")
         for directory in self.search_paths:
             if not directory.is_dir():
                 continue
@@ -220,6 +251,8 @@ class WorkloadRegistry:
                     out.setdefault(entry.stem, "scenario")
                 elif suffix == TRACE_SUFFIX:
                     out.setdefault(entry.stem, "trace")
+                elif suffix in RV32I_SUFFIXES:
+                    out.setdefault(entry.stem, "rv32i")
         return out
 
     def entries(self) -> List[tuple]:
@@ -239,6 +272,8 @@ def _kind_of(workload: WorkloadLike) -> str:
         return "suite"
     if isinstance(workload, ScenarioSpec):
         return "scenario"
+    if isinstance(workload, Rv32iWorkload):
+        return "rv32i"
     return "trace"
 
 

@@ -1,0 +1,15 @@
+"""Make the sibling reference-interpreter module importable.
+
+The test tree is package-less (no ``__init__.py``), so the independent
+oracle in ``rv32i_reference.py`` is exposed by putting this directory on
+``sys.path`` — keeping the oracle a plain module that never ships inside
+``src/`` (the point of differential testing is that it stays separate
+from the code under test).
+"""
+
+import sys
+from pathlib import Path
+
+_HERE = str(Path(__file__).parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)

@@ -1,0 +1,183 @@
+"""An independent straight-line RV32I reference interpreter.
+
+This is the differential-testing oracle for
+:mod:`repro.isa.rv32i.core` and it deliberately shares **no code** with
+it: immediates are rebuilt from scratch with a generic sign-extend
+helper, semantics are table-driven lambdas instead of an if/elif chain,
+and memory is a flat bounded ``bytearray`` instead of a sparse dict.
+Two implementations this different agreeing on 32-bit end states for
+hundreds of randomized programs is the evidence the executor is right;
+sharing a decoder would silently share its bugs.
+
+Same architectural contract as the executor: x0 hardwired to zero,
+wraparound arithmetic, unaligned loads/stores allowed (little-endian,
+byte-composed), halt on ``ecall``/``ebreak``/out-of-image/misaligned-pc.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: Flat memory window. Differential programs must keep their data
+#: accesses inside it (the generator pins base registers accordingly).
+REF_MEM_BYTES = 1 << 16
+
+_M32 = (1 << 32) - 1
+
+
+def _sx(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` of ``value`` to a python int."""
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value & (1 << (bits - 1)) else value
+
+
+def _s32(value: int) -> int:
+    return _sx(value, 32)
+
+
+class RefState:
+    """End state of a reference run."""
+
+    def __init__(self, regs: List[int], mem: bytearray, pc: int,
+                 halt: Optional[str], retired: int) -> None:
+        self.regs = regs
+        self.mem = mem
+        self.pc = pc
+        self.halt = halt
+        self.retired = retired
+
+    def nonzero_mem(self) -> dict:
+        return {addr: byte for addr, byte in enumerate(self.mem) if byte}
+
+
+def _fields(word: int) -> Tuple[int, int, int, int, int, int]:
+    """(opcode, rd, funct3, rs1, rs2, funct7) straight off the word."""
+    return (word & 0x7F, (word >> 7) & 0x1F, (word >> 12) & 0x7,
+            (word >> 15) & 0x1F, (word >> 20) & 0x1F, (word >> 25) & 0x7F)
+
+
+# funct3 -> semantics for the two ALU opcode spaces. Each lambda takes
+# (a, b, alt) where alt is bit 30 of the word (sub/sra selector).
+_ALU = {
+    0b000: lambda a, b, alt: a - b if alt else a + b,
+    0b001: lambda a, b, alt: a << (b & 31),
+    0b010: lambda a, b, alt: int(_s32(a) < _s32(b)),
+    0b011: lambda a, b, alt: int((a & _M32) < (b & _M32)),
+    0b100: lambda a, b, alt: a ^ b,
+    0b101: lambda a, b, alt: (_s32(a) if alt else (a & _M32)) >> (b & 31),
+    0b110: lambda a, b, alt: a | b,
+    0b111: lambda a, b, alt: a & b,
+}
+
+_COND = {
+    0b000: lambda a, b: a == b,
+    0b001: lambda a, b: a != b,
+    0b100: lambda a, b: _s32(a) < _s32(b),
+    0b101: lambda a, b: _s32(a) >= _s32(b),
+    0b110: lambda a, b: (a & _M32) < (b & _M32),
+    0b111: lambda a, b: (a & _M32) >= (b & _M32),
+}
+
+#: funct3 -> (byte count, signed) for loads.
+_LOAD = {0b000: (1, True), 0b001: (2, True), 0b010: (4, True),
+         0b100: (1, False), 0b101: (2, False)}
+
+
+def run_reference(words: List[int], max_steps: int = 500_000) -> RefState:
+    """Execute an image (loaded at 0) to halt; raises on a bad word or an
+    out-of-window memory access — differential programs are constructed
+    never to trigger either."""
+    regs = [0] * 32
+    mem = bytearray(REF_MEM_BYTES)
+    pc = 0
+    halt: Optional[str] = None
+    retired = 0
+    limit = len(words) * 4
+
+    def read(addr: int, count: int, signed: bool) -> int:
+        if not 0 <= addr <= REF_MEM_BYTES - count:
+            raise IndexError(f"reference load outside window: 0x{addr:x}")
+        raw = int.from_bytes(mem[addr:addr + count], "little")
+        return _sx(raw, count * 8) if signed else raw
+
+    def write(addr: int, count: int, value: int) -> None:
+        if not 0 <= addr <= REF_MEM_BYTES - count:
+            raise IndexError(f"reference store outside window: 0x{addr:x}")
+        mem[addr:addr + count] = (value & ((1 << (count * 8)) - 1)
+                                  ).to_bytes(count, "little")
+
+    for _ in range(max_steps):
+        if pc & 3:
+            halt = "misaligned-pc"
+            break
+        if not 0 <= pc < limit:
+            halt = "out-of-image"
+            break
+        word = words[pc >> 2]
+        opcode, rd, funct3, rs1, rs2, funct7 = _fields(word)
+        a, b = regs[rs1], regs[rs2]
+        next_pc = pc + 4
+        value: Optional[int] = None
+
+        if opcode == 0b0110111:                       # lui
+            value = _sx(word & 0xFFFFF000, 32)
+        elif opcode == 0b0010111:                     # auipc
+            value = pc + _sx(word & 0xFFFFF000, 32)
+        elif opcode == 0b1101111:                     # jal
+            imm = _sx((((word >> 31) & 1) << 20)
+                      | (((word >> 12) & 0xFF) << 12)
+                      | (((word >> 20) & 1) << 11)
+                      | (((word >> 21) & 0x3FF) << 1), 21)
+            value = pc + 4
+            next_pc = (pc + imm) & _M32
+        elif opcode == 0b1100111 and funct3 == 0:     # jalr
+            value = pc + 4
+            next_pc = (a + _sx(word >> 20, 12)) & _M32 & ~1
+        elif opcode == 0b1100011:                     # branches
+            cond = _COND.get(funct3)
+            if cond is None:
+                raise ValueError(f"bad branch funct3 in 0x{word:08x}")
+            imm = _sx((((word >> 31) & 1) << 12)
+                      | (((word >> 7) & 1) << 11)
+                      | (((word >> 25) & 0x3F) << 5)
+                      | (((word >> 8) & 0xF) << 1), 13)
+            if cond(a, b):
+                next_pc = (pc + imm) & _M32
+        elif opcode == 0b0000011:                     # loads
+            spec = _LOAD.get(funct3)
+            if spec is None:
+                raise ValueError(f"bad load funct3 in 0x{word:08x}")
+            value = read((a + _sx(word >> 20, 12)) & _M32, *spec)
+        elif opcode == 0b0100011:                     # stores
+            count = {0b000: 1, 0b001: 2, 0b010: 4}.get(funct3)
+            if count is None:
+                raise ValueError(f"bad store funct3 in 0x{word:08x}")
+            imm = _sx(((word >> 25) << 5) | rd, 12)
+            write((a + imm) & _M32, count, b)
+        elif opcode == 0b0010011:                     # OP-IMM
+            if funct3 in (0b001, 0b101):
+                operand = rs2                         # shamt field
+                alt = (word >> 30) & 1
+            else:
+                operand = _sx(word >> 20, 12)
+                alt = 0
+            value = _ALU[funct3](a, operand, alt)
+        elif opcode == 0b0110011:                     # OP
+            value = _ALU[funct3](a, b, (word >> 30) & 1)
+        elif opcode == 0b0001111:                     # fence: nop
+            pass
+        elif opcode == 0b1110011 and funct3 == 0:     # ecall / ebreak
+            halt = "ebreak" if (word >> 20) & 1 else "ecall"
+            retired += 1
+            break
+        else:
+            raise ValueError(f"reference cannot decode 0x{word:08x}")
+
+        if value is not None and rd:
+            regs[rd] = value & _M32
+        pc = next_pc
+        retired += 1
+    else:
+        raise RuntimeError(f"reference did not halt in {max_steps} steps")
+
+    return RefState(regs, mem, pc, halt, retired)

@@ -1,0 +1,226 @@
+"""Bit-identity guarantees for real-ISA (RV32I) µop streams.
+
+Four contracts, each inherited from the synthetic-workload stack and
+re-proven here on streams lowered from real program execution:
+
+* **Capture determinism** — recording the same program twice produces
+  byte-identical ``.trc`` files, and the file replays the exact µop
+  sequence the live executor lowers.
+* **Engine determinism** — the same rv32i cell computed serially, in a
+  process pool and through a cold-reloaded persistent cache yields
+  identical ``SimStats`` counter dicts.
+* **Warming-tier equivalence** — scalar and vectorized functional
+  warming leave byte-identical machine state (and identical ``.ckpt``
+  digests) after consuming an rv32i stream, live or recorded.
+* **Checkpoint round-trip** — save → restore → continue on an rv32i
+  workload matches an uninterrupted run counter-for-counter, in memory
+  and through the on-disk format (the executor's sparse-memory state
+  must survive the restricted unpickler).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.presets import make_config
+from repro.experiments.engine import (
+    EngineOptions,
+    ResultCache,
+    base_cell_payload,
+    run_cells,
+)
+from repro.pipeline.cpu import Simulator
+from repro.traces.format import FileTrace, capture
+from repro.traces.registry import TraceWorkload, resolve_workload
+
+# seq is assigned by fetch at runtime, not part of the recorded contract
+# (see repro/traces/format.py).
+_UOP_FIELDS = ("pc", "opclass", "srcs", "dst", "mem_addr",
+               "mem_size", "taken", "target")
+CAPTURE_UOPS = 12_000
+
+
+def _uop_tuple(uop):
+    return tuple(getattr(uop, field) for field in _UOP_FIELDS)
+
+
+@pytest.fixture(scope="module")
+def captured(tmp_path_factory):
+    """ptr-chase captured once to disk; (path, workload name, seed)."""
+    path = tmp_path_factory.mktemp("rv32i-traces") / "ptr-chase.trc"
+    workload = resolve_workload("ptr-chase")
+    capture(workload.build_trace(3), path, CAPTURE_UOPS, wp_seed=3)
+    return path
+
+
+class TestCaptureIdentity:
+    def test_capture_twice_is_byte_identical(self, captured, tmp_path):
+        workload = resolve_workload("ptr-chase")
+        again = tmp_path / "again.trc"
+        capture(workload.build_trace(3), again, CAPTURE_UOPS, wp_seed=3)
+        assert again.read_bytes() == captured.read_bytes()
+
+    def test_file_replay_equals_live_lowering(self, captured):
+        live = resolve_workload("ptr-chase").build_trace(3)
+        replayed = FileTrace(captured)
+        for index in range(CAPTURE_UOPS):
+            recorded = replayed.next_uop()
+            executed = live.next_uop()
+            assert recorded is not None and executed is not None
+            assert _uop_tuple(recorded) == _uop_tuple(executed), index
+
+    def test_wrong_path_stream_matches(self, captured):
+        live = resolve_workload("ptr-chase").build_trace(3)
+        replayed = FileTrace(captured)
+        for seq, pc in ((17, 0x44), (900, 0x10), (31_004, 0x88)):
+            assert _uop_tuple(replayed.wrong_path_uop(seq, pc)) == \
+                _uop_tuple(live.wrong_path_uop(seq, pc))
+
+    def test_block_fetch_matches_single_steps(self, captured):
+        one = FileTrace(captured)
+        block = FileTrace(captured)
+        singles = [one.next_uop() for _ in range(600)]
+        batched = []
+        while len(batched) < 600:
+            batched.extend(block.next_block(97))
+        assert [_uop_tuple(u) for u in singles] == \
+            [_uop_tuple(u) for u in batched[:600]]
+
+
+class TestEngineDeterminism:
+    def _payloads(self, captured):
+        config = make_config("SpecSched_4_Combined", banked=True)
+        live = resolve_workload("dhry-mix")
+        recorded = TraceWorkload(captured)
+        return [
+            base_cell_payload(config, live, warmup_uops=500,
+                              measure_uops=2_000,
+                              functional_warmup_uops=4_000, seed=1),
+            base_cell_payload(config, recorded, warmup_uops=500,
+                              measure_uops=2_000,
+                              functional_warmup_uops=4_000, seed=3),
+        ]
+
+    def test_serial_pool_and_cache_identical(self, captured, tmp_path):
+        payloads = self._payloads(captured)
+        serial = run_cells(payloads, EngineOptions(jobs=1),
+                           ResultCache(None))
+        pooled = run_cells(payloads, EngineOptions(jobs=2),
+                           ResultCache(None))
+        primed = ResultCache(tmp_path)
+        run_cells(payloads, EngineOptions(jobs=1), primed)
+        reload_cache = ResultCache(tmp_path)   # fresh memory, warm disk
+        reloaded = run_cells(payloads, EngineOptions(jobs=1), reload_cache)
+        for a, b, c in zip(serial, pooled, reloaded):
+            assert a.to_dict() == b.to_dict() == c.to_dict()
+        assert reload_cache.disk_hits == len(payloads)
+        assert reload_cache.misses == 0
+
+    def test_cell_key_tracks_image_not_location(self, captured, tmp_path):
+        """Copying an image elsewhere must hit the same cache key."""
+        import shutil
+
+        from repro.experiments.engine import cell_key
+        from repro.isa.rv32i.corpus import bundled_programs
+
+        config = make_config("SpecSched_4", banked=True)
+        original = bundled_programs()["memcpy-stream"]
+        copy = tmp_path / "renamed-kernel.hex"
+        shutil.copy(original, copy)
+
+        def key_for(path):
+            workload = resolve_workload(str(path))
+            return cell_key(base_cell_payload(
+                config, workload, warmup_uops=500, measure_uops=1_000,
+                functional_warmup_uops=2_000, seed=1))
+
+        assert key_for(original) == key_for(copy)
+
+
+class TestWarmingEquivalence:
+    """Scalar vs vectorized warming on real-ISA streams (satellite of
+    ``tests/warming/test_equivalence.py``)."""
+
+    @pytest.fixture(autouse=True)
+    def _numpy(self):
+        pytest.importorskip("numpy")
+
+    @pytest.mark.parametrize("preset", ("Baseline_0",
+                                        "SpecSched_4_Combined"))
+    @pytest.mark.parametrize("name", ("ptr-chase", "state-machine"))
+    def test_live_stream_identity(self, preset, name):
+        states = {}
+        for mode in ("scalar", "vectorized"):
+            workload = resolve_workload(name)
+            sim = Simulator(make_config(preset), workload.build_trace(7))
+            assert sim.fast_forward(9_000, mode=mode) == 9_000
+            states[mode] = pickle.dumps(sim.state_dict())
+        assert states["scalar"] == states["vectorized"]
+
+    def test_recorded_stream_state_and_digest_identity(self, captured,
+                                                       tmp_path):
+        from repro.checkpoint.format import (checkpoint_digest,
+                                             save_checkpoint)
+
+        states, digests = {}, {}
+        for mode in ("scalar", "vectorized"):
+            sim = Simulator(make_config("SpecSched_4_Combined"),
+                            FileTrace(captured))
+            assert sim.fast_forward(9_000, mode=mode) == 9_000
+            states[mode] = pickle.dumps(sim.state_dict())
+            ckpt = tmp_path / f"{mode}.ckpt"
+            save_checkpoint(sim, ckpt)
+            digests[mode] = checkpoint_digest(ckpt)
+        assert states["scalar"] == states["vectorized"]
+        assert digests["scalar"] == digests["vectorized"]
+
+
+class TestCheckpointRoundtrip:
+    SPLIT, TOTAL, FUNCTIONAL = 3_000, 7_000, 8_000
+
+    def _reference(self, workload, config, seed):
+        sim = Simulator(config, workload.build_trace(seed))
+        sim.functional_warmup(workload.build_trace(seed), self.FUNCTIONAL)
+        sim.run(max_uops=self.TOTAL)
+        return sim.stats.to_dict()
+
+    @pytest.mark.parametrize("name,preset",
+                             [("dhry-mix", "SpecSched_4_Combined"),
+                              ("matmul-inner", "Baseline_0")])
+    def test_state_dict_roundtrip(self, name, preset):
+        workload = resolve_workload(name)
+        config = make_config(preset)
+        seed = workload.seed
+        reference = self._reference(workload, config, seed)
+
+        sim = Simulator(config, workload.build_trace(seed))
+        sim.functional_warmup(workload.build_trace(seed), self.FUNCTIONAL)
+        sim.run(max_uops=self.SPLIT)
+        state = pickle.loads(pickle.dumps(sim.state_dict(), protocol=4))
+
+        restored = Simulator(config, workload.build_trace(seed))
+        restored.load_state_dict(state)
+        restored.run(max_uops=self.TOTAL)
+        assert restored.stats.to_dict() == reference
+
+    def test_file_checkpoint_roundtrip(self, tmp_path):
+        from repro.checkpoint.format import (restore_simulator,
+                                             save_checkpoint)
+
+        workload = resolve_workload("state-machine")
+        config = make_config("SpecSched_4_Crit")
+        seed = workload.seed
+        reference = self._reference(workload, config, seed)
+
+        sim = Simulator(config, workload.build_trace(seed))
+        sim.functional_warmup(workload.build_trace(seed), self.FUNCTIONAL)
+        sim.run(max_uops=self.SPLIT)
+        path = tmp_path / "mid.ckpt"
+        info = save_checkpoint(sim, path, workload=workload, seed=seed)
+        assert info.uops_committed == sim.stats.committed_uops
+
+        restored = restore_simulator(path)
+        restored.run(max_uops=self.TOTAL)
+        assert restored.stats.to_dict() == reference

@@ -1,0 +1,128 @@
+"""CLI surface for the rv32i workload kind.
+
+Exercises ``repro rv32i run|capture|check``, bundled-name resolution
+through ``repro run`` / ``repro trace record`` / ``repro list``, and the
+clean-error paths — all in-process through ``repro.cli.main``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.isa.rv32i.corpus import BUNDLED
+from repro.traces.format import read_info
+
+
+class TestRv32iRun:
+    def test_bundled_kernel_runs_to_halt(self, capsys):
+        assert main(["rv32i", "run", "memcpy-stream"]) == 0
+        out = capsys.readouterr().out
+        assert "halt=ebreak" in out
+        assert "mem digest" in out
+
+    def test_image_path_accepted(self, capsys):
+        from repro.isa.rv32i.corpus import bundled_programs
+
+        image = bundled_programs()["ptr-chase"]
+        assert main(["rv32i", "run", str(image)]) == 0
+        assert "ptr-chase" in capsys.readouterr().out
+
+    def test_step_cap_reported_as_failure(self, capsys):
+        assert main(["rv32i", "run", "matmul-inner",
+                     "--max-steps", "50"]) == 1
+        assert "step cap" in capsys.readouterr().out
+
+    def test_non_rv32i_workload_rejected(self, capsys):
+        assert main(["rv32i", "run", "gzip"]) == 2
+        assert "not an RV32I program" in capsys.readouterr().err
+
+    def test_unknown_name_rejected(self, capsys):
+        assert main(["rv32i", "run", "no-such-kernel"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestRv32iCapture:
+    def test_capture_writes_replayable_trace(self, tmp_path, capsys):
+        out = tmp_path / "dhry.trc"
+        assert main(["rv32i", "capture", "dhry-mix", "-o", str(out),
+                     "--uops", "5000"]) == 0
+        info = read_info(out)
+        assert info.uop_count == 5000
+        assert info.provenance["workload"] == "dhry-mix"
+        assert info.provenance["image_sha"]
+        assert main(["trace", "replay", str(out), "SpecSched_4",
+                     "--measure", "2000"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_capture_seed_only_changes_wrong_path(self, tmp_path):
+        a = tmp_path / "a.trc"
+        b = tmp_path / "b.trc"
+        assert main(["rv32i", "capture", "ptr-chase", "-o", str(a),
+                     "--uops", "2000", "--seed", "5"]) == 0
+        assert main(["rv32i", "capture", "ptr-chase", "-o", str(b),
+                     "--uops", "2000", "--seed", "9"]) == 0
+        # Same committed stream -> same record digest; only wp_seed moves.
+        assert read_info(a).digest == read_info(b).digest
+        assert read_info(a).wp_seed != read_info(b).wp_seed
+
+
+class TestRv32iCheck:
+    def test_bundled_corpus_checks_clean(self, capsys):
+        assert main(["rv32i", "check"]) == 0
+        out = capsys.readouterr().out
+        for name in BUNDLED:
+            assert name in out
+
+    def test_stale_image_detected(self, tmp_path, capsys, monkeypatch):
+        import shutil
+
+        from repro.isa.rv32i.corpus import bundled_programs
+
+        for image in bundled_programs().values():
+            shutil.copy(image, tmp_path / image.name)
+            shutil.copy(image.with_suffix(".s"),
+                        tmp_path / image.with_suffix(".s").name)
+        victim = tmp_path / "dhry-mix.hex"
+        lines = victim.read_text().splitlines()
+        lines[0] = "00000013"            # swap first word for a nop
+        victim.write_text("\n".join(lines) + "\n")
+        monkeypatch.setenv("REPRO_RV32I_DIR", str(tmp_path))
+        assert main(["rv32i", "check"]) == 1
+        assert "STALE" in capsys.readouterr().out
+
+
+class TestRegistrySurface:
+    def test_repro_run_accepts_bundled_name(self, capsys):
+        assert main(["run", "state-machine", "SpecSched_4",
+                     "--measure", "2000"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_trace_record_accepts_bundled_name(self, tmp_path, capsys):
+        out = tmp_path / "mat.trc"
+        assert main(["trace", "record", "matmul-inner", "-o", str(out),
+                     "--uops", "3000"]) == 0
+        assert read_info(out).uop_count == 3000
+
+    def test_list_shows_rv32i_kind(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in BUNDLED:
+            assert f"{name}" in out
+        assert "(rv32i)" in out
+
+    def test_sampled_run_on_bundled_kernel(self, capsys):
+        assert main(["run", "ptr-chase", "SpecSched_4", "--sample",
+                     "--intervals", "3", "--interval-uops", "400",
+                     "--sample-warmup", "200", "--period", "1500",
+                     "--offset", "1000"]) == 0
+        assert "95% CI" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("args", [
+    ["rv32i", "capture", "gzip"],
+    ["rv32i", "capture", "no-such-kernel"],
+])
+def test_capture_clean_errors(args, capsys):
+    assert main(args) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Sampling on real-ISA streams: mode equivalence and estimate quality.
+
+Two satellites of the sampling suite, re-proven on RV32I µop streams:
+
+* ``--sample-mode cells-chained`` must match legacy ``cells``
+  bit-identically (interval-for-interval counter equality) on both a
+  long captured rv32i trace and the live executor-backed source — the
+  chained path checkpoints the *executor's* architectural state through
+  the restricted-unpickler protocol, which no synthetic source
+  exercises.
+* A sampled IPC estimate over a long captured trace must stay inside
+  the existing ``mean_ipc_rel_err`` perf-gate ceiling (the quick-mode
+  analogue of the sampling benchmark's accuracy metric, same
+  detailed-span definition as ``repro.perf.bench``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint.sampling import (
+    SamplingSpec,
+    run_sampled,
+    run_sampled_cells_chained,
+    run_sampled_chained,
+)
+from repro.common.stats import SimStats
+from repro.core.presets import make_config
+from repro.experiments.engine import (
+    EngineOptions,
+    base_cell_payload,
+    simulate_payload,
+)
+from repro.perf.gate import GATE_SPECS
+from repro.traces.format import capture
+from repro.traces.registry import TraceWorkload, resolve_workload
+
+OFF = EngineOptions(jobs=1, cache_dir="off")
+
+#: Small spec for the bit-identity checks (mirrors the chained-cells
+#: suite's volumes).
+SPEC = SamplingSpec(intervals=3, interval_uops=600, warmup_uops=200,
+                    period_uops=2_500, offset_uops=3_000)
+
+#: Larger spec for the accuracy gate: more intervals over a longer span
+#: so the estimate converges well inside the ceiling.
+GATE_SPEC = SamplingSpec(intervals=8, interval_uops=600, warmup_uops=300,
+                         period_uops=3_000, offset_uops=2_000)
+
+CAPTURE_UOPS = 40_000
+SEED = 2
+
+
+def _gate_ceiling() -> float:
+    for gate in GATE_SPECS["sampling"]:
+        if gate.metric == "mean_ipc_rel_err":
+            return gate.ceiling
+    raise AssertionError("mean_ipc_rel_err gate disappeared")
+
+
+@pytest.fixture(scope="module")
+def long_trace(tmp_path_factory):
+    """A captured dhry-mix stream long enough for every spec here."""
+    path = tmp_path_factory.mktemp("rv32i-sampling") / "dhry-mix.trc"
+    capture(resolve_workload("dhry-mix").build_trace(SEED), path,
+            CAPTURE_UOPS, wp_seed=SEED)
+    return path
+
+
+class TestModeEquivalence:
+    @pytest.mark.parametrize("preset", ["Baseline_0",
+                                        "SpecSched_4_Combined"])
+    def test_captured_trace_chained_matches_cells(self, long_trace,
+                                                  tmp_path, preset):
+        workload = TraceWorkload(long_trace)
+        legacy = run_sampled(workload, preset, SPEC, seed=SEED,
+                             options=OFF)
+        chained = run_sampled_cells_chained(workload, preset, SPEC,
+                                            seed=SEED, options=OFF,
+                                            store=tmp_path)
+        assert [s.to_dict() for s in chained.interval_stats] == \
+            [s.to_dict() for s in legacy.interval_stats]
+
+    def test_live_executor_chained_matches_cells(self, tmp_path):
+        """The chained path checkpoints Rv32iTrace/Machine state."""
+        legacy = run_sampled("state-machine", "SpecSched_4", SPEC,
+                             seed=SEED, options=OFF)
+        chained = run_sampled_cells_chained("state-machine", "SpecSched_4",
+                                            SPEC, seed=SEED, options=OFF,
+                                            store=tmp_path)
+        assert [s.to_dict() for s in chained.interval_stats] == \
+            [s.to_dict() for s in legacy.interval_stats]
+
+
+class TestEstimateQuality:
+    @pytest.mark.parametrize("preset", ["Baseline_0",
+                                        "SpecSched_4_Combined"])
+    def test_sampled_ipc_within_gate_ceiling(self, long_trace, preset):
+        workload = TraceWorkload(long_trace)
+        spec = GATE_SPEC.validate()
+        span = spec.span_uops
+        assert span <= CAPTURE_UOPS, "capture too short for the spec"
+        payload = base_cell_payload(
+            make_config(preset), workload,
+            warmup_uops=spec.offset_uops,
+            measure_uops=span - spec.offset_uops,
+            functional_warmup_uops=0, seed=SEED)
+        detailed = SimStats.from_dict(simulate_payload(payload))
+        sampled = run_sampled_chained(workload, preset, spec, seed=SEED)
+        assert detailed.ipc > 0
+        rel_err = abs(sampled.mean_ipc - detailed.ipc) / detailed.ipc
+        assert rel_err <= _gate_ceiling(), (
+            f"{preset}: sampled {sampled.mean_ipc:.3f} vs detailed "
+            f"{detailed.ipc:.3f} (rel err {rel_err:.4f})")
